@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures against
+// the simulated three-tier workload.
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8|baseline|extrapolation|recommend]
+//	            [-out results] [-seed N] [-quick]
+//
+// Reports print to stdout; CSV artifacts land in the output directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nnwc/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id, or 'all'")
+		out   = flag.String("out", "results", "directory for CSV artifacts")
+		seed  = flag.Uint64("seed", 2006, "master seed for data collection and training")
+		quick = flag.Bool("quick", false, "scaled-down settings (for smoke runs)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-14s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	ctx := experiments.New(os.Stdout, *out)
+	if *quick {
+		ctx = experiments.NewQuick(os.Stdout, *out)
+	}
+	ctx.Seed = *seed
+
+	var runners []experiments.Runner
+	if *run == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			r, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		fmt.Printf("=== %s: %s ===\n", r.ID, r.Desc)
+		if err := r.Run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nnwc/internal/doe"
+	"nnwc/internal/threetier"
+)
+
+// parseBound parses "lo:hi" into two floats.
+func parseBound(s string) (lo, hi float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bound %q must be lo:hi", s)
+	}
+	if lo, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// cmdDoegen generates a dataset from a space-filling experiment design
+// instead of a rectangular sweep — often far more sample-efficient (see
+// `cmd/experiments -run sampling`).
+func cmdDoegen(args []string) error {
+	fs := flag.NewFlagSet("doegen", flag.ExitOnError)
+	out := fs.String("out", "data.csv", "output CSV path")
+	design := fs.String("design", "lhs", "experiment design: lhs | random | factorial")
+	n := fs.Int("n", 64, "sample budget (levels^4 for factorial)")
+	levels := fs.Int("levels", 3, "levels per dimension (factorial only)")
+	seed := fs.Uint64("seed", 2006, "design + simulation seed")
+	rate := fs.String("rate", "440:640", "injection-rate range lo:hi")
+	def := fs.String("default", "2:24", "default-thread range lo:hi")
+	mfg := fs.String("mfg", "8:24", "mfg-thread range lo:hi")
+	web := fs.String("web", "8:32", "web-thread range lo:hi")
+	warm := fs.Float64("warmup", 20, "simulated warm-up seconds")
+	window := fs.Float64("window", 80, "simulated measurement seconds")
+	fs.Parse(args)
+
+	var d doe.Design
+	switch *design {
+	case "lhs":
+		d = doe.LatinHypercube{Seed: *seed}
+	case "random":
+		d = doe.UniformRandom{Seed: *seed}
+	case "factorial":
+		d = doe.FullFactorial{Levels: *levels}
+	default:
+		return fmt.Errorf("unknown design %q (want lhs, random, or factorial)", *design)
+	}
+
+	dims := make([]doe.Dimension, 4)
+	for i, spec := range []struct {
+		name    string
+		bound   string
+		integer bool
+	}{
+		{"injection_rate", *rate, false},
+		{"default_threads", *def, true},
+		{"mfg_threads", *mfg, true},
+		{"web_threads", *web, true},
+	} {
+		lo, hi, err := parseBound(spec.bound)
+		if err != nil {
+			return fmt.Errorf("parsing -%s: %w", strings.SplitN(spec.name, "_", 2)[0], err)
+		}
+		dims[i] = doe.Dimension{Name: spec.name, Lo: lo, Hi: hi, Integer: spec.integer}
+	}
+
+	points, err := d.Points(*n, len(dims))
+	if err != nil {
+		return err
+	}
+	scaled, err := doe.Scale(points, dims)
+	if err != nil {
+		return err
+	}
+	configs := make([]threetier.Config, len(scaled))
+	for i, row := range scaled {
+		cfg, err := threetier.ConfigFromVector(row)
+		if err != nil {
+			return err
+		}
+		configs[i] = cfg
+	}
+
+	sys := threetier.DefaultSystemParams()
+	sys.WarmupTime, sys.MeasureTime = *warm, *window
+	fmt.Printf("running %d %s-designed configurations...\n", len(configs), d.Name())
+	ds, err := threetier.CollectConfigs(configs, 1, sys, *seed+1)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples to %s\n", ds.Len(), *out)
+	return nil
+}

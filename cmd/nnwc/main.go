@@ -1,0 +1,81 @@
+// Command nnwc is the workload-characterization toolchain: generate sample
+// datasets from the three-tier simulator, train and persist neural-network
+// models, cross-validate them, predict unseen configurations, render
+// response surfaces, and recommend configurations.
+//
+// Usage:
+//
+//	nnwc datagen   -out data.csv [-seed N] [-rates 480,560,640] [-mfg 8,16,24] [-web 8,...] [-default 2,...] [-replicates 1]
+//	nnwc train     -data data.csv -model model.json [-hidden 16] [-epochs 2000] [-seed N]
+//	nnwc crossval  -data data.csv [-k 5] [-hidden 16] [-seed N]
+//	nnwc predict   -model model.json -x 560,8,16,18
+//	nnwc surface   -model model.json -output 4 [-fixed 560,0,16,0] [-xi 1] [-yi 3] [-xrange 2:16:8] [-yrange 8:24:9]
+//	nnwc recommend -model model.json [-maximize 4] [-bounds 140,80,60,65,inf]
+//	nnwc compare   -data data.csv [-k 5]
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "datagen":
+		err = cmdDatagen(os.Args[2:])
+	case "doegen":
+		err = cmdDoegen(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "crossval":
+		err = cmdCrossval(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "surface":
+		err = cmdSurface(os.Args[2:])
+	case "recommend":
+		err = cmdRecommend(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "importance":
+		err = cmdImportance(os.Args[2:])
+	case "select":
+		err = cmdSelect(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "nnwc: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nnwc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `nnwc — neural-network workload characterization (IISWC 2006 reproduction)
+
+subcommands:
+  datagen    run the three-tier simulator over a configuration sweep, emit CSV samples
+  doegen     like datagen but with a space-filling experiment design (LHS/random/factorial)
+  simulate   deep-dive one configuration: percentiles, CIs, per-pool breakdown
+  train      train an MLP model on a sample CSV and save it as JSON
+  crossval   k-fold cross-validation (the paper's Table 2 protocol)
+  predict    predict the performance indicators of one configuration
+  surface    evaluate a model over a 2-D configuration slice (the paper's 3-D figures)
+  recommend  search for the best configuration under a scoring function
+  compare    compare linear/polynomial/log/MLP/LNN model families by CV error
+  importance permutation feature importance of a trained model on a dataset
+  select     automated hidden-node-count selection by cross-validation
+
+run 'nnwc <subcommand> -h' for flags.`)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nnwc/internal/threetier"
+)
+
+// cmdSimulate runs the three-tier simulator once for a single
+// configuration and prints the full diagnostic view: the five paper
+// indicators, per-class percentiles with batch-means confidence intervals,
+// the per-pool wait/service breakdown, and pool utilizations — the deep
+// dive an engineer wants after the model has pointed at a configuration.
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	xStr := fs.String("x", "560,8,16,18", "configuration vector (rate,default,mfg,web)")
+	seed := fs.Uint64("seed", 7, "simulation seed")
+	warm := fs.Float64("warmup", 20, "simulated warm-up seconds")
+	window := fs.Float64("window", 80, "simulated measurement seconds")
+	users := fs.Int("users", 0, "closed-loop user count (0 = open loop)")
+	think := fs.Float64("think", 0.5, "closed-loop mean think time, seconds")
+	asJSON := fs.Bool("json", false, "emit the metrics as JSON instead of the report")
+	fs.Parse(args)
+
+	x, err := parseFloats(*xStr)
+	if err != nil {
+		return err
+	}
+	cfg, err := threetier.ConfigFromVector(x)
+	if err != nil {
+		return err
+	}
+	if *users > 0 {
+		cfg.Mode = threetier.ClosedLoop
+		cfg.Users = *users
+		cfg.ThinkTime = *think
+	}
+	sys := threetier.DefaultSystemParams()
+	sys.WarmupTime, sys.MeasureTime = *warm, *window
+	sys.CollectSamples = true
+
+	m, err := threetier.Run(cfg, sys, *seed)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		// Strip the bulky raw samples; everything else serializes.
+		m.Samples = [threetier.NumClasses][]float64{}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(m)
+	}
+
+	fmt.Printf("configuration: rate=%g default=%d mfg=%d web=%d (driver: %s)\n",
+		cfg.InjectionRate, cfg.DefaultThreads, cfg.MfgThreads, cfg.WebThreads, cfg.Mode)
+	fmt.Printf("offered %.1f tx/s, effective %.1f tx/s\n\n", m.OfferedTPS, m.EffectiveTPS)
+
+	fmt.Printf("%-16s %9s %9s %9s %9s %9s %12s %9s\n",
+		"class", "mean ms", "p50", "p95", "p99", "±95%CI", "completed", "rejected")
+	for c := 0; c < threetier.NumClasses; c++ {
+		class := threetier.Class(c)
+		line := fmt.Sprintf("%-16s %9.1f", class, m.ResponseTimes[c]*1000)
+		if p, err := m.Percentiles(class); err == nil {
+			line += fmt.Sprintf(" %9.1f %9.1f %9.1f", p.P50*1000, p.P95*1000, p.P99*1000)
+		} else {
+			line += fmt.Sprintf(" %9s %9s %9s", "-", "-", "-")
+		}
+		if ci, err := m.ResponseCI(class, 20); err == nil {
+			line += fmt.Sprintf(" %9.2f", ci.HalfWidth*1000)
+		} else {
+			line += fmt.Sprintf(" %9s", "-")
+		}
+		line += fmt.Sprintf(" %12d %9d", m.Completed[c], m.Rejected[c])
+		fmt.Println(line)
+	}
+
+	fmt.Printf("\nper-pool breakdown (wait / hold, ms per transaction):\n")
+	fmt.Printf("%-16s", "class")
+	for p := 0; p < threetier.NumPools; p++ {
+		fmt.Printf(" %16s", threetier.Pool(p))
+	}
+	fmt.Printf(" %12s\n", "bottleneck")
+	for c := 0; c < threetier.NumClasses; c++ {
+		fmt.Printf("%-16s", threetier.Class(c))
+		for p := 0; p < threetier.NumPools; p++ {
+			fmt.Printf("   %6.1f / %5.1f", m.MeanPoolWait[c][p]*1000, m.MeanPoolService[c][p]*1000)
+		}
+		fmt.Printf(" %12s\n", m.Bottleneck(threetier.Class(c)))
+	}
+
+	fmt.Printf("\npool utilization:")
+	for p := 0; p < threetier.NumPools; p++ {
+		fmt.Printf("  %s=%.0f%%", threetier.Pool(p), m.PoolUtilization[p]*100)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,469 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"nnwc/internal/core"
+	"nnwc/internal/linear"
+	"nnwc/internal/nn"
+	"nnwc/internal/plot"
+	"nnwc/internal/poly"
+	"nnwc/internal/recommend"
+	"nnwc/internal/rng"
+	"nnwc/internal/stats"
+	"nnwc/internal/surface"
+	"nnwc/internal/threetier"
+	"nnwc/internal/train"
+	"nnwc/internal/workload"
+)
+
+// parseFloats parses "a,b,c" into floats ("inf" allowed).
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if strings.EqualFold(p, "inf") {
+			out = append(out, math.Inf(1))
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	fs, err := parseFloats(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(fs))
+	for i, f := range fs {
+		out[i] = int(f)
+	}
+	return out, nil
+}
+
+// parseRange parses "lo:hi:n" into n evenly spaced values.
+func parseRange(s string) ([]float64, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("range %q must be lo:hi:n", s)
+	}
+	lo, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return nil, err
+	}
+	return surface.Linspace(lo, hi, n), nil
+}
+
+func loadDataset(path string) (*workload.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadCSV(f)
+}
+
+func loadModel(path string) (*core.NNModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadModel(f)
+}
+
+func modelConfig(hidden string, epochs int, seed uint64) (core.Config, error) {
+	sizes, err := parseInts(hidden)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("parsing -hidden: %w", err)
+	}
+	tc := train.DefaultConfig()
+	if epochs > 0 {
+		tc.MaxEpochs = epochs
+	}
+	return core.Config{Hidden: sizes, Train: &tc, Seed: seed}, nil
+}
+
+func cmdDatagen(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
+	out := fs.String("out", "data.csv", "output CSV path")
+	seed := fs.Uint64("seed", 2006, "simulation seed")
+	rates := fs.String("rates", "480,560,640", "injection rates")
+	mfg := fs.String("mfg", "8,16,24", "mfg thread counts")
+	web := fs.String("web", "8,12,14,16,18,20,24", "web thread counts")
+	def := fs.String("default", "2,4,6,8,12,16", "default thread counts")
+	reps := fs.Int("replicates", 1, "replicates per configuration")
+	warm := fs.Float64("warmup", 20, "simulated warm-up seconds")
+	window := fs.Float64("window", 80, "simulated measurement seconds")
+	fs.Parse(args)
+
+	spec := threetier.SweepSpec{Replicates: *reps}
+	var err error
+	if spec.InjectionRates, err = parseFloats(*rates); err != nil {
+		return err
+	}
+	if spec.MfgThreads, err = parseInts(*mfg); err != nil {
+		return err
+	}
+	if spec.WebThreads, err = parseInts(*web); err != nil {
+		return err
+	}
+	if spec.DefaultThreads, err = parseInts(*def); err != nil {
+		return err
+	}
+	sys := threetier.DefaultSystemParams()
+	sys.WarmupTime, sys.MeasureTime = *warm, *window
+
+	fmt.Printf("running %d configurations × %d replicates...\n", spec.Size(), *reps)
+	ds, err := threetier.Collect(spec, sys, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples to %s\n", ds.Len(), *out)
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	data := fs.String("data", "data.csv", "training CSV")
+	modelPath := fs.String("model", "model.json", "output model path")
+	hidden := fs.String("hidden", "16", "hidden layer sizes, comma separated")
+	epochs := fs.Int("epochs", 2000, "max training epochs")
+	seed := fs.Uint64("seed", 1, "weight-init seed")
+	fs.Parse(args)
+
+	ds, err := loadDataset(*data)
+	if err != nil {
+		return err
+	}
+	cfg, err := modelConfig(*hidden, *epochs, *seed)
+	if err != nil {
+		return err
+	}
+	model, err := core.Fit(ds, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		return err
+	}
+	ev, err := core.Evaluate(model, ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d samples: %d epochs, stop=%s, train loss %.4g\n",
+		ds.Len(), model.TrainResult.Epochs, model.TrainResult.Reason, model.TrainResult.FinalLoss)
+	fmt.Printf("training-set error (HMRE) per indicator:\n")
+	for j, name := range ev.TargetNames {
+		fmt.Printf("  %-24s %.2f%%\n", name, ev.HMRE[j]*100)
+	}
+	fmt.Printf("model saved to %s\n", *modelPath)
+	return nil
+}
+
+func cmdCrossval(args []string) error {
+	fs := flag.NewFlagSet("crossval", flag.ExitOnError)
+	data := fs.String("data", "data.csv", "sample CSV")
+	k := fs.Int("k", 5, "number of folds")
+	hidden := fs.String("hidden", "16", "hidden layer sizes")
+	epochs := fs.Int("epochs", 2000, "max training epochs")
+	seed := fs.Uint64("seed", 99, "shuffle/init seed")
+	fs.Parse(args)
+
+	ds, err := loadDataset(*data)
+	if err != nil {
+		return err
+	}
+	cfg, err := modelConfig(*hidden, *epochs, *seed)
+	if err != nil {
+		return err
+	}
+	cv, err := core.CrossValidate(ds, cfg, *k, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s", "trial")
+	for _, n := range cv.TargetNames {
+		fmt.Printf(" %22s", n)
+	}
+	fmt.Println()
+	for i, tr := range cv.Trials {
+		fmt.Printf("%-8d", i+1)
+		for _, e := range tr.Errors {
+			fmt.Printf(" %21.1f%%", e*100)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-8s", "average")
+	for _, e := range cv.Averages {
+		fmt.Printf(" %21.1f%%", e*100)
+	}
+	fmt.Printf("\noverall prediction accuracy: %.1f%%\n", cv.OverallAccuracy()*100)
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "model path")
+	xStr := fs.String("x", "", "configuration vector, comma separated")
+	fs.Parse(args)
+
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	x, err := parseFloats(*xStr)
+	if err != nil {
+		return err
+	}
+	if len(x) != model.InputDim() {
+		return fmt.Errorf("model expects %d features (%s), got %d",
+			model.InputDim(), strings.Join(model.FeatureNames, ","), len(x))
+	}
+	y := model.Predict(x)
+	for j, name := range model.TargetNames {
+		fmt.Printf("%-24s %.3f\n", name, y[j])
+	}
+	return nil
+}
+
+func cmdSurface(args []string) error {
+	fs := flag.NewFlagSet("surface", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "model path")
+	output := fs.Int("output", 4, "indicator index to plot")
+	fixed := fs.String("fixed", "560,0,16,0", "fixed configuration template")
+	xi := fs.Int("xi", 1, "swept feature index (x axis)")
+	yi := fs.Int("yi", 3, "swept feature index (y axis)")
+	xr := fs.String("xrange", "2:16:8", "x grid lo:hi:n")
+	yr := fs.String("yrange", "8:24:9", "y grid lo:hi:n")
+	csvOut := fs.String("csv", "", "optional CSV output path")
+	fs.Parse(args)
+
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	fixedVec, err := parseFloats(*fixed)
+	if err != nil {
+		return err
+	}
+	xs, err := parseRange(*xr)
+	if err != nil {
+		return err
+	}
+	ys, err := parseRange(*yr)
+	if err != nil {
+		return err
+	}
+	sl := surface.Slice{Fixed: fixedVec, XIndex: *xi, YIndex: *yi, XValues: xs, YValues: ys, Output: *output}
+	grid, err := surface.Evaluate(model, sl, model.InputDim(), model.OutputDim())
+	if err != nil {
+		return err
+	}
+	hm := plot.HeatMap{
+		Title:   fmt.Sprintf("%s over (%s, %s)", model.TargetNames[*output], model.FeatureNames[*xi], model.FeatureNames[*yi]),
+		XLabel:  model.FeatureNames[*xi],
+		YLabel:  model.FeatureNames[*yi],
+		XValues: xs,
+		YValues: ys,
+		Z:       grid.Z,
+	}
+	if err := hm.Render(os.Stdout); err != nil {
+		return err
+	}
+	a := surface.Classify(grid)
+	fmt.Printf("shape: %s — %s\n", a.Shape, a.Advice)
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return plot.WriteSurfaceCSV(f, xs, ys, grid.Z)
+	}
+	return nil
+}
+
+func cmdRecommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "model path")
+	maximize := fs.Int("maximize", 4, "indicator index to maximize")
+	boundsStr := fs.String("bounds", "140,80,60,65,inf", "per-indicator upper bounds ('inf' to skip)")
+	lo := fs.String("lo", "560,2,8,8", "space lower bounds")
+	hi := fs.String("hi", "560,16,24,24", "space upper bounds")
+	seed := fs.Uint64("seed", 7, "search seed")
+	pareto := fs.Bool("pareto", false, "report the Pareto front over (min response times, max throughput) instead of one SLA optimum")
+	fs.Parse(args)
+
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	bounds, err := parseFloats(*boundsStr)
+	if err != nil {
+		return err
+	}
+	loV, err := parseFloats(*lo)
+	if err != nil {
+		return err
+	}
+	hiV, err := parseFloats(*hi)
+	if err != nil {
+		return err
+	}
+	integers := make([]bool, len(loV))
+	for i, name := range model.FeatureNames {
+		integers[i] = strings.Contains(name, "threads")
+	}
+	space := recommend.Space{Lo: loV, Hi: hiV, Integer: integers}
+	if *pareto {
+		objs := make([]recommend.Objective, model.OutputDim())
+		for j := range objs {
+			if j == *maximize {
+				objs[j] = recommend.Maximize
+			} else {
+				objs[j] = recommend.Minimize
+			}
+		}
+		front, err := recommend.ParetoFront(model, space, objs, recommend.Options{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Pareto front (%d non-dominated configurations):\n", len(front))
+		limit := len(front)
+		if limit > 20 {
+			limit = 20
+		}
+		for _, cand := range front[:limit] {
+			fmt.Printf(" x=%v →", cand.X)
+			for j, name := range model.TargetNames {
+				fmt.Printf(" %s=%.1f", name, cand.Y[j])
+			}
+			fmt.Println()
+		}
+		if len(front) > limit {
+			fmt.Printf(" ... and %d more\n", len(front)-limit)
+		}
+		return nil
+	}
+	res, err := recommend.Search(model, space, recommend.SLAScore(*maximize, bounds), recommend.Options{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best configuration (score %.3f):\n", res.Best.Score)
+	for i, name := range model.FeatureNames {
+		fmt.Printf("  %-20s %g\n", name, res.Best.X[i])
+	}
+	fmt.Println("predicted indicators:")
+	for j, name := range model.TargetNames {
+		fmt.Printf("  %-24s %.3f\n", name, res.Best.Y[j])
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	data := fs.String("data", "data.csv", "sample CSV")
+	k := fs.Int("k", 5, "folds")
+	hidden := fs.String("hidden", "16", "MLP hidden sizes")
+	epochs := fs.Int("epochs", 2000, "MLP training epochs")
+	seed := fs.Uint64("seed", 99, "seed")
+	fs.Parse(args)
+
+	ds, err := loadDataset(*data)
+	if err != nil {
+		return err
+	}
+	mlpCfg, err := modelConfig(*hidden, *epochs, *seed)
+	if err != nil {
+		return err
+	}
+	lnnCfg := mlpCfg
+	lnnCfg.HiddenActivation = nn.LogCompress{}
+
+	type fam struct {
+		name string
+		fit  func(tr *workload.Dataset, seed uint64) (core.Predictor, error)
+	}
+	fams := []fam{
+		// A whisker of ridge keeps the solve alive when a swept feature is
+		// constant in the data (a pinned parameter makes OLS singular).
+		{"linear", func(tr *workload.Dataset, _ uint64) (core.Predictor, error) {
+			return linear.Fit(tr.Xs(), tr.Ys(), linear.Options{Lambda: 1e-8})
+		}},
+		{"poly2+int", func(tr *workload.Dataset, _ uint64) (core.Predictor, error) {
+			return poly.Fit(poly.Polynomial{Degree: 2, Interactions: true}, tr.Xs(), tr.Ys(), poly.Options{Lambda: 1e-4, Standardize: true})
+		}},
+		{"log", func(tr *workload.Dataset, _ uint64) (core.Predictor, error) {
+			return poly.Fit(poly.Logarithmic{}, tr.Xs(), tr.Ys(), poly.Options{Lambda: 1e-8})
+		}},
+		{"mlp", func(tr *workload.Dataset, s uint64) (core.Predictor, error) {
+			cfg := mlpCfg
+			cfg.Seed = s
+			return core.Fit(tr, cfg)
+		}},
+		{"lnn", func(tr *workload.Dataset, s uint64) (core.Predictor, error) {
+			cfg := lnnCfg
+			cfg.Seed = s
+			return core.Fit(tr, cfg)
+		}},
+	}
+
+	shuffled := ds.Clone()
+	shuffled.Shuffle(rng.New(*seed))
+	folds, err := shuffled.KFold(*k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %12s\n", "model", "mean HMRE")
+	for _, fm := range fams {
+		var errSum float64
+		for f := 0; f < *k; f++ {
+			trainSet, valSet := shuffled.TrainValidation(folds, f)
+			model, err := fm.fit(trainSet, *seed+uint64(f))
+			if err != nil {
+				return fmt.Errorf("%s fold %d: %w", fm.name, f+1, err)
+			}
+			ev, err := core.Evaluate(model, valSet)
+			if err != nil {
+				return err
+			}
+			errSum += stats.Mean(ev.HMRE)
+		}
+		fmt.Printf("%-12s %11.2f%%\n", fm.name, errSum/float64(*k)*100)
+	}
+	return nil
+}

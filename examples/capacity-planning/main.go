@@ -1,0 +1,90 @@
+// capacity-planning uses a trained workload model for what-if analysis the
+// simulator never ran: sweeping the injection rate at a fixed thread-pool
+// configuration to find the highest load that still meets response-time
+// SLAs — the "predict how the performance metrics will change as the input
+// parameters change" use case from the paper's introduction.
+//
+// Run with: go run ./examples/capacity-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnwc/internal/core"
+	"nnwc/internal/threetier"
+)
+
+// SLA bounds per indicator (ms for the four response times).
+var slaBounds = []float64{140, 80, 60, 65}
+
+func main() {
+	// Train across a range of injection rates so the rate axis is
+	// interpolation, not extrapolation.
+	spec := threetier.SweepSpec{
+		InjectionRates: []float64{400, 460, 520, 580, 640},
+		MfgThreads:     []int{16},
+		WebThreads:     []int{16, 20, 24},
+		DefaultThreads: []int{6, 10, 14},
+	}
+	sys := threetier.DefaultSystemParams()
+	sys.WarmupTime, sys.MeasureTime = 10, 40
+	fmt.Printf("collecting %d samples across injection rates 400-640...\n", spec.Size())
+	ds, err := threetier.Collect(spec, sys, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.Fit(ds, core.Config{Hidden: []int{16}, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfgs := []struct {
+		name          string
+		def, mfg, web int
+	}{
+		{"lean (6/16/18)", 6, 16, 18},
+		{"tuned (10/16/22)", 10, 16, 22},
+		{"oversized (14/16/24)", 14, 16, 24},
+	}
+	for _, c := range cfgs {
+		fmt.Printf("\n%s — predicted capacity sweep:\n", c.name)
+		fmt.Printf("  %6s %10s %10s %10s %8s\n", "rate", "mfg ms", "purch ms", "browse ms", "SLA?")
+		maxOK := 0.0
+		for rate := 420.0; rate <= 640; rate += 20 {
+			y := model.Predict([]float64{rate, float64(c.def), float64(c.mfg), float64(c.web)})
+			ok := true
+			for j, b := range slaBounds {
+				if y[j] > b {
+					ok = false
+					break
+				}
+			}
+			mark := "miss"
+			if ok {
+				mark = "ok"
+				maxOK = rate
+			}
+			fmt.Printf("  %6.0f %10.1f %10.1f %10.1f %8s\n", rate, y[0], y[1], y[3], mark)
+		}
+		if maxOK > 0 {
+			fmt.Printf("  → model-estimated capacity: ~%.0f tx/s within SLA\n", maxOK)
+			// Verify the estimate against a fresh simulation.
+			m, err := threetier.Run(threetier.Config{
+				InjectionRate:  maxOK,
+				DefaultThreads: c.def,
+				MfgThreads:     c.mfg,
+				WebThreads:     c.web,
+			}, sys, 23)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  → simulator at %.0f tx/s: mfg %.0fms, purchase %.0fms, browse %.0fms\n",
+				maxOK, m.ResponseTimes[threetier.Manufacturing]*1000,
+				m.ResponseTimes[threetier.DealerPurchase]*1000,
+				m.ResponseTimes[threetier.DealerBrowse]*1000)
+		} else {
+			fmt.Println("  → no rate in the sweep meets the SLA")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// closed-loop contrasts the paper's open-loop driver (Poisson arrivals at
+// a fixed injection rate) with a closed-loop driver (a fixed population of
+// virtual users with think time, as SPECjAppServer-style harnesses use),
+// and verifies the interactive response-time law X = N/(Z+R) against the
+// simulator — an operational-law sanity check that holds for any
+// well-measured closed system.
+//
+// Run with: go run ./examples/closed-loop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnwc/internal/threetier"
+)
+
+func main() {
+	sys := threetier.DefaultSystemParams()
+	sys.WarmupTime, sys.MeasureTime = 10, 60
+
+	fmt.Println("open loop: response time vs injection rate (mfg=16, web=18, default=8)")
+	fmt.Printf("  %8s %12s %12s %12s\n", "rate", "purchase ms", "eff tx/s", "rejected")
+	for _, rate := range []float64{400, 500, 600, 700} {
+		cfg := threetier.Config{InjectionRate: rate, MfgThreads: 16, WebThreads: 18, DefaultThreads: 8}
+		m, err := threetier.Run(cfg, sys, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rejected int
+		for c := 0; c < threetier.NumClasses; c++ {
+			rejected += m.Rejected[c]
+		}
+		fmt.Printf("  %8.0f %12.1f %12.1f %12d\n",
+			rate, m.ResponseTimes[threetier.DealerPurchase]*1000, m.EffectiveTPS, rejected)
+	}
+
+	fmt.Println("\nclosed loop: same system driven by N users with 0.5 s think time")
+	fmt.Printf("  %8s %12s %12s %14s %10s\n", "users", "purchase ms", "X (tx/s)", "N/(Z+R) law", "law err")
+	for _, users := range []int{100, 200, 300, 400} {
+		cfg := threetier.Config{
+			Mode: threetier.ClosedLoop, Users: users, ThinkTime: 0.5,
+			MfgThreads: 16, WebThreads: 18, DefaultThreads: 8,
+		}
+		m, err := threetier.Run(cfg, sys, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Completion-weighted mean response time across classes.
+		var rtSum float64
+		var n int
+		for c := 0; c < threetier.NumClasses; c++ {
+			rtSum += m.ResponseTimes[c] * float64(m.Completed[c])
+			n += m.Completed[c]
+		}
+		meanRT := rtSum / float64(n)
+		law := float64(users) / (0.5 + meanRT)
+		errPct := (m.OfferedTPS - law) / law * 100
+		fmt.Printf("  %8d %12.1f %12.1f %14.1f %9.1f%%\n",
+			users, m.ResponseTimes[threetier.DealerPurchase]*1000, m.OfferedTPS, law, errPct)
+	}
+
+	fmt.Println(`
+What to notice:
+ - the open driver keeps pushing as the system saturates: response times
+   climb and the admission queue starts rejecting work;
+ - the closed driver self-limits: throughput tracks N/(Z+R) (the
+   interactive response-time law) and saturates as users pile up on the
+   bottleneck instead of being rejected;
+ - the paper's model consumes open-loop samples, but the same (config →
+   indicators) interface works for either driver — swap the Mode field.`)
+}

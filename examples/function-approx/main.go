@@ -1,0 +1,119 @@
+// function-approx demonstrates the foundation the paper builds on (§2.2):
+// multilayer perceptrons as universal function approximators. Three
+// architectures — the paper's sigmoid MLP, a logarithmic neural network,
+// and an RBF network — fit the analytic M/M/c mean-response-time curve
+// from queueing theory, then are probed outside the training range to show
+// §5.3's extrapolation behaviour on a target whose true values we can
+// compute exactly.
+//
+// Run with: go run ./examples/function-approx
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnwc/internal/core"
+	"nnwc/internal/nn"
+	"nnwc/internal/nn/rbf"
+	"nnwc/internal/plot"
+	"nnwc/internal/preprocess"
+	"nnwc/internal/queueing"
+	"nnwc/internal/workload"
+	"os"
+)
+
+const (
+	mu      = 25.0 // per-server service rate
+	servers = 8
+)
+
+// truth returns the analytic M/M/8 mean response time (ms) at arrival
+// rate lambda.
+func truth(lambda float64) float64 {
+	w, err := queueing.MMC{Lambda: lambda, Mu: mu, C: servers}.MeanResponseTime()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w * 1000
+}
+
+func main() {
+	// Training range: utilization 0.10 … 0.90. Probe range: up to 0.965,
+	// where the queueing curve turns sharply upward.
+	train := workload.NewDataset([]string{"lambda"}, []string{"rt_ms"})
+	for l := 20.0; l <= 180; l += 4 {
+		train.MustAppend(workload.Sample{X: []float64{l}, Y: []float64{truth(l)}})
+	}
+	fmt.Printf("training on %d points of the M/M/%d response-time curve (λ∈[20,180], μ=%g)\n",
+		train.Len(), servers, mu)
+
+	mlpCfg := core.Config{Hidden: []int{12}, Seed: 3}
+	lnnCfg := mlpCfg
+	lnnCfg.HiddenActivation = nn.LogCompress{}
+
+	mlp, err := core.Fit(train, mlpCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lnn, err := core.Fit(train, lnnCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// RBF needs standardized features for sane Gaussian widths.
+	xs := preprocess.NewStandardizer()
+	if err := xs.Fit(train.Xs()); err != nil {
+		log.Fatal(err)
+	}
+	rbfNet, err := rbf.Fit(preprocess.TransformAll(xs, train.Xs()), train.Ys(),
+		rbf.Config{Centers: 12, WidthScale: 2, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rbfPredict := func(l float64) float64 {
+		return rbfNet.Predict(xs.Transform([]float64{l}))[0]
+	}
+
+	fmt.Printf("\n%8s %10s %10s %10s %10s %8s\n", "λ", "truth", "MLP", "LNN", "RBF", "zone")
+	for _, l := range []float64{40, 100, 160, 176, 184, 190, 193} {
+		zone := "train"
+		if l > 180 {
+			zone = "EXTRAP"
+		}
+		fmt.Printf("%8.0f %10.1f %10.1f %10.1f %10.1f %8s\n",
+			l, truth(l), mlp.Predict([]float64{l})[0], lnn.Predict([]float64{l})[0],
+			rbfPredict(l), zone)
+	}
+
+	// The in-range fit, visually: actual vs MLP prediction.
+	var actual, pred []float64
+	for l := 20.0; l <= 180; l += 8 {
+		actual = append(actual, truth(l))
+		pred = append(pred, mlp.Predict([]float64{l})[0])
+	}
+	fmt.Println()
+	sc := plot.Scatter{
+		Title:  "M/M/8 response time: actual (o) vs MLP (x) across the training range",
+		Actual: actual,
+		Pred:   pred,
+		Height: 12,
+	}
+	if err := sc.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(`
+What to notice:
+ - inside the training range all three families track the analytic curve
+   essentially perfectly (the §2.2 universal-approximation property);
+ - past λ=180 every model falls behind the exploding true curve, and the
+   drop is steepest relative to the in-range accuracy for the sigmoid MLP,
+   whose saturated hidden units cap its growth — §5.3's "prediction
+   accuracy of MLPs drop rapidly outside the range of training data";
+ - no family rescues a super-linear blowup like queueing saturation; the
+   logarithmic network (ref. [23]) grows rather than saturating, which
+   helps on gentler targets (see 'go run ./cmd/experiments -run
+   extrapolation' for the workload-level comparison) but is still
+   sub-linear here. Extrapolating a performance model past its measured
+   range is a modelling error, not a tooling problem.`)
+}

@@ -1,0 +1,63 @@
+// Quickstart: collect samples from the three-tier workload simulator,
+// train the paper's neural-network model, validate it, and predict an
+// unseen configuration — the whole §3 methodology in ~60 lines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnwc/internal/core"
+	"nnwc/internal/rng"
+	"nnwc/internal/threetier"
+)
+
+func main() {
+	// 1. Collect samples: a small sweep over thread-pool sizes at two
+	// injection rates. Every (config, indicators) pair is one sample.
+	spec := threetier.SweepSpec{
+		InjectionRates: []float64{480, 560},
+		MfgThreads:     []int{8, 16},
+		WebThreads:     []int{12, 16, 20, 24},
+		DefaultThreads: []int{4, 8, 12},
+	}
+	sys := threetier.DefaultSystemParams()
+	sys.WarmupTime, sys.MeasureTime = 8, 32 // keep the demo fast
+	ds, err := threetier.Collect(spec, sys, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d samples (%d configuration parameters → %d performance indicators)\n",
+		ds.Len(), ds.NumFeatures(), ds.NumTargets())
+
+	// 2. Hold out a validation split, then train the MLP. Standardization
+	// and loose-fit early stopping are on by default, per the paper.
+	ds.Shuffle(rng.New(1))
+	trainSet, valSet := ds.Split(0.8)
+	model, err := core.Fit(trainSet, core.Config{Hidden: []int{12}, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: %d epochs, stop reason %q\n",
+		model.TrainResult.Epochs, model.TrainResult.Reason)
+
+	// 3. Validate on the held-out configurations.
+	ev, err := core.Evaluate(model, valSet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for j, name := range ev.TargetNames {
+		fmt.Printf("  %-24s validation error %.1f%%\n", name, ev.HMRE[j]*100)
+	}
+	fmt.Printf("overall prediction accuracy: %.1f%%\n", ev.Accuracy()*100)
+
+	// 4. Predict a configuration that was never simulated.
+	x := []float64{520, 7, 12, 17} // (rate, default, mfg, web)
+	y := model.Predict(x)
+	fmt.Printf("\npredicted indicators for rate=520 default=7 mfg=12 web=17:\n")
+	for j, name := range model.TargetNames {
+		fmt.Printf("  %-24s %.1f\n", name, y[j])
+	}
+}

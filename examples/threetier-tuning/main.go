@@ -1,0 +1,127 @@
+// threetier-tuning reproduces the paper's case study end to end on the
+// simulated workload: collect a configuration sweep, run 5-fold
+// cross-validation (Table 2), render the actual-vs-predicted fit of trial
+// 1 (Figures 5/6), draw the three response-surface archetypes at the
+// paper's (560, x, 16, y) slice (Figures 4/7/8), and finish with a tuning
+// recommendation.
+//
+// Run with: go run ./examples/threetier-tuning
+// (takes a couple of minutes at full fidelity; pass -quick to shrink it)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nnwc/internal/core"
+	"nnwc/internal/plot"
+	"nnwc/internal/recommend"
+	"nnwc/internal/surface"
+	"nnwc/internal/threetier"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use a smaller sweep and shorter simulations")
+	flag.Parse()
+
+	spec := threetier.DefaultSweep()
+	sys := threetier.DefaultSystemParams()
+	if *quick {
+		sys.WarmupTime, sys.MeasureTime = 5, 20
+		spec.WebThreads = []int{8, 12, 16, 20, 24, 28}
+		spec.DefaultThreads = []int{2, 6, 10, 16, 22}
+	}
+
+	fmt.Printf("== collecting %d configurations ==\n", spec.Size())
+	ds, err := threetier.Collect(spec, sys, 2006)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== 5-fold cross-validation (the paper's Table 2 protocol) ==")
+	cfg := core.Config{Hidden: []int{16}, Seed: 1}
+	cv, err := core.CrossValidate(ds, cfg, 5, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, tr := range cv.Trials {
+		fmt.Printf("trial %d:", i+1)
+		for j, e := range tr.Errors {
+			fmt.Printf(" %s=%.1f%%", cv.TargetNames[j], e*100)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("overall prediction accuracy: %.1f%%\n\n", cv.OverallAccuracy()*100)
+
+	fmt.Println("== actual (o) vs predicted (x), validation set of trial 1 ==")
+	trial := cv.Trials[0]
+	valRT := trial.Val.TargetColumn(1) // dealer purchase response time
+	pred := make([]float64, trial.Val.Len())
+	for i, s := range trial.Val.Samples {
+		pred[i] = trial.Model.Predict(s.X)[1]
+	}
+	sc := plot.Scatter{Title: "dealer purchase response time (ms)", Actual: valRT, Pred: pred, Height: 12}
+	if err := sc.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== response surfaces at (rate=560, mfg=16) ==")
+	model, err := core.Fit(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, probe := range []struct {
+		output int
+		label  string
+	}{
+		{0, "manufacturing response time (Figure 4)"},
+		{1, "dealer purchase response time (Figure 7)"},
+		{4, "effective throughput (Figure 8)"},
+	} {
+		sl := surface.Slice{
+			Fixed:   []float64{560, 0, 16, 0},
+			XIndex:  1, // default threads
+			YIndex:  3, // web threads
+			XValues: surface.Linspace(2, 24, 12),
+			YValues: surface.Linspace(8, 32, 13),
+			Output:  probe.output,
+		}
+		grid, err := surface.Evaluate(model, sl, model.InputDim(), model.OutputDim())
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := surface.Classify(grid)
+		fmt.Printf("%-45s → %s\n   %s\n", probe.label, a.Shape, a.Advice)
+	}
+
+	fmt.Println("\n== recommended configuration (maximize throughput under response-time SLAs) ==")
+	space := recommend.Space{
+		Lo:      []float64{560, 2, 8, 8},
+		Hi:      []float64{560, 24, 24, 32},
+		Integer: []bool{false, true, true, true},
+	}
+	res, err := recommend.Search(model, space,
+		recommend.SLAScore(4, []float64{140, 80, 60, 65}), recommend.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("default=%g mfg=%g web=%g → predicted %.0f effective tx/s\n",
+		res.Best.X[1], res.Best.X[2], res.Best.X[3], res.Best.Y[4])
+
+	// Close the loop: replay the recommendation in the simulator.
+	verify := threetier.Config{
+		InjectionRate:  560,
+		DefaultThreads: int(res.Best.X[1]),
+		MfgThreads:     int(res.Best.X[2]),
+		WebThreads:     int(res.Best.X[3]),
+	}
+	m, err := threetier.Run(verify, sys, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulator agrees: %.0f effective tx/s (mfg %.0fms, purchase %.0fms)\n",
+		m.EffectiveTPS, m.ResponseTimes[threetier.Manufacturing]*1000,
+		m.ResponseTimes[threetier.DealerPurchase]*1000)
+}

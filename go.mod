@@ -1,0 +1,3 @@
+module nnwc
+
+go 1.22

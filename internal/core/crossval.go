@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"nnwc/internal/rng"
+	"nnwc/internal/stats"
+	"nnwc/internal/workload"
+)
+
+// Trial is one fold of a k-fold cross-validation: the model trained on the
+// other k−1 folds, the datasets involved, and the per-indicator validation
+// errors (harmonic mean of relative error, the paper's §3.3 metric).
+type Trial struct {
+	Model  *NNModel
+	Train  *workload.Dataset
+	Val    *workload.Dataset
+	Errors []float64 // per indicator, as fractions (0.03 = 3%)
+}
+
+// CVResult is the material behind the paper's Table 2: per-trial,
+// per-indicator validation errors plus their averages.
+type CVResult struct {
+	TargetNames []string
+	Trials      []Trial
+	// Averages[j] is the mean over trials of indicator j's error.
+	Averages []float64
+}
+
+// OverallError averages across indicators and trials.
+func (r *CVResult) OverallError() float64 { return stats.Mean(r.Averages) }
+
+// OverallAccuracy is the paper's headline number: 1 − overall error
+// (reported as "an average prediction accuracy of 95%").
+func (r *CVResult) OverallAccuracy() float64 { return 1 - r.OverallError() }
+
+// CrossValidate performs k-fold cross-validation per §3.3: the shuffled
+// dataset is divided into k equal folds; for each trial one fold is held
+// out for validation and the rest train the model. The paper hand-tuned
+// the node count and termination threshold on the first trial and reused
+// them for the rest — here cfg plays that role for every trial, with
+// per-trial seeds derived from cfg.Seed.
+func CrossValidate(ds *workload.Dataset, cfg Config, k int, seed uint64) (*CVResult, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("core: cross-validation needs a non-empty dataset")
+	}
+	shuffled := ds.Clone()
+	shuffled.Shuffle(rng.New(seed))
+	folds, err := shuffled.KFold(k)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CVResult{
+		TargetNames: append([]string(nil), ds.TargetNames...),
+		Averages:    make([]float64, ds.NumTargets()),
+	}
+	for f := 0; f < k; f++ {
+		trainSet, valSet := shuffled.TrainValidation(folds, f)
+		trialCfg := cfg
+		trialCfg.Seed = seed + uint64(f)*0x9e3779b9
+		model, err := Fit(trainSet, trialCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: trial %d: %w", f+1, err)
+		}
+		ev, err := Evaluate(model, valSet)
+		if err != nil {
+			return nil, fmt.Errorf("core: trial %d evaluation: %w", f+1, err)
+		}
+		res.Trials = append(res.Trials, Trial{
+			Model:  model,
+			Train:  trainSet,
+			Val:    valSet,
+			Errors: ev.HMRE,
+		})
+		for j, e := range ev.HMRE {
+			res.Averages[j] += e / float64(k)
+		}
+	}
+	return res, nil
+}

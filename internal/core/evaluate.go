@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+
+	"nnwc/internal/stats"
+	"nnwc/internal/workload"
+)
+
+// Evaluation holds per-indicator error metrics of a predictor on a dataset.
+type Evaluation struct {
+	TargetNames []string
+	// HMRE is the paper's §3.3 metric per indicator: harmonic mean of
+	// |error| / actual over the dataset.
+	HMRE []float64
+	// MAPE, RMSE and R2 are conventional metrics for cross-checking.
+	MAPE []float64
+	RMSE []float64
+	R2   []float64
+}
+
+// MeanHMRE averages the paper metric across indicators.
+func (e *Evaluation) MeanHMRE() float64 { return stats.Mean(e.HMRE) }
+
+// Accuracy returns the paper's headline "average prediction accuracy":
+// 1 − mean error across indicators.
+func (e *Evaluation) Accuracy() float64 { return 1 - e.MeanHMRE() }
+
+// Evaluate scores p on every sample of ds.
+func Evaluate(p Predictor, ds *workload.Dataset) (*Evaluation, error) {
+	if ds.Len() == 0 {
+		return nil, errors.New("core: cannot evaluate on an empty dataset")
+	}
+	m := ds.NumTargets()
+	actual := make([][]float64, m)
+	pred := make([][]float64, m)
+	for _, s := range ds.Samples {
+		out := p.Predict(s.X)
+		if len(out) != m {
+			return nil, errors.New("core: predictor output dimensionality does not match dataset")
+		}
+		for j := 0; j < m; j++ {
+			actual[j] = append(actual[j], s.Y[j])
+			pred[j] = append(pred[j], out[j])
+		}
+	}
+	ev := &Evaluation{
+		TargetNames: append([]string(nil), ds.TargetNames...),
+		HMRE:        make([]float64, m),
+		MAPE:        make([]float64, m),
+		RMSE:        make([]float64, m),
+		R2:          make([]float64, m),
+	}
+	for j := 0; j < m; j++ {
+		h, err := stats.HarmonicMeanRelativeError(actual[j], pred[j])
+		if err != nil {
+			// All-zero actuals for an indicator: fall back to MAPE(=0/0
+			// skipped) semantics by reporting 0 — the indicator carries
+			// no relative-error information.
+			h = 0
+		}
+		ev.HMRE[j] = h
+		ev.MAPE[j] = stats.MAPE(actual[j], pred[j])
+		ev.RMSE[j] = stats.RMSE(actual[j], pred[j])
+		ev.R2[j] = stats.R2(actual[j], pred[j])
+	}
+	return ev, nil
+}

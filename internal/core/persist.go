@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nnwc/internal/nn"
+	"nnwc/internal/preprocess"
+)
+
+// modelJSON is the on-disk representation of an NNModel: schema, scaler
+// parameters, and the network weights. The format is plain JSON so models
+// are diffable and inspectable.
+type modelJSON struct {
+	FeatureNames []string        `json:"feature_names"`
+	TargetNames  []string        `json:"target_names"`
+	XScaler      scalerJSON      `json:"x_scaler"`
+	YScaler      scalerJSON      `json:"y_scaler"`
+	Network      json.RawMessage `json:"network"`
+}
+
+type scalerJSON struct {
+	Kind string    `json:"kind"` // "standardizer" | "identity"
+	Mean []float64 `json:"mean,omitempty"`
+	Std  []float64 `json:"std,omitempty"`
+	Dims int       `json:"dims,omitempty"`
+}
+
+func encodeScaler(s preprocess.Scaler) (scalerJSON, error) {
+	switch sc := s.(type) {
+	case *preprocess.Standardizer:
+		return scalerJSON{Kind: "standardizer", Mean: sc.Mean(), Std: sc.Std()}, nil
+	case *preprocess.Identity:
+		return scalerJSON{Kind: "identity", Dims: sc.Dims()}, nil
+	}
+	return scalerJSON{}, fmt.Errorf("core: cannot persist scaler of type %T", s)
+}
+
+func decodeScaler(sj scalerJSON) (preprocess.Scaler, error) {
+	switch sj.Kind {
+	case "standardizer":
+		if len(sj.Mean) == 0 || len(sj.Mean) != len(sj.Std) {
+			return nil, fmt.Errorf("core: malformed standardizer parameters")
+		}
+		// Rebuild by fitting on two rows that reproduce the recorded
+		// mean and std exactly: mean±std has mean `mean` and population
+		// std `std`.
+		rows := [][]float64{make([]float64, len(sj.Mean)), make([]float64, len(sj.Mean))}
+		for j := range sj.Mean {
+			rows[0][j] = sj.Mean[j] - sj.Std[j]
+			rows[1][j] = sj.Mean[j] + sj.Std[j]
+		}
+		sc := preprocess.NewStandardizer()
+		if err := sc.Fit(rows); err != nil {
+			return nil, err
+		}
+		return sc, nil
+	case "identity":
+		sc := preprocess.NewIdentity()
+		if sj.Dims > 0 {
+			if err := sc.Fit([][]float64{make([]float64, sj.Dims)}); err != nil {
+				return nil, err
+			}
+		}
+		return sc, nil
+	}
+	return nil, fmt.Errorf("core: unknown scaler kind %q", sj.Kind)
+}
+
+// Save writes the model as JSON.
+func (m *NNModel) Save(w io.Writer) error {
+	xs, err := encodeScaler(m.XScaler)
+	if err != nil {
+		return err
+	}
+	ys, err := encodeScaler(m.YScaler)
+	if err != nil {
+		return err
+	}
+	var netBuf bytes.Buffer
+	if err := m.Net.Save(&netBuf); err != nil {
+		return err
+	}
+	doc := modelJSON{
+		FeatureNames: m.FeatureNames,
+		TargetNames:  m.TargetNames,
+		XScaler:      xs,
+		YScaler:      ys,
+		Network:      json.RawMessage(netBuf.Bytes()),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// LoadModel reads a model previously written by Save.
+func LoadModel(r io.Reader) (*NNModel, error) {
+	var doc modelJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	xScaler, err := decodeScaler(doc.XScaler)
+	if err != nil {
+		return nil, err
+	}
+	yScaler, err := decodeScaler(doc.YScaler)
+	if err != nil {
+		return nil, err
+	}
+	net, err := nn.Load(bytes.NewReader(doc.Network))
+	if err != nil {
+		return nil, err
+	}
+	m := &NNModel{
+		FeatureNames: doc.FeatureNames,
+		TargetNames:  doc.TargetNames,
+		XScaler:      xScaler,
+		YScaler:      yScaler,
+		Net:          net,
+	}
+	if net.InputDim() != len(m.FeatureNames) || net.OutputDim() != len(m.TargetNames) {
+		return nil, fmt.Errorf("core: network dims (%d,%d) do not match schema (%d,%d)",
+			net.InputDim(), net.OutputDim(), len(m.FeatureNames), len(m.TargetNames))
+	}
+	return m, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nnwc/internal/workload"
+)
+
+// NodeCountResult records one candidate topology's cross-validated error.
+type NodeCountResult struct {
+	Hidden []int
+	// Error is the mean validation HMRE across folds and indicators.
+	Error float64
+	// Params is the trainable-parameter count of the topology.
+	Params int
+}
+
+// SelectionResult is the outcome of SelectNodeCount.
+type SelectionResult struct {
+	Best       NodeCountResult
+	Candidates []NodeCountResult
+}
+
+// SelectNodeCount automates the §3.2 choice the paper made by hand ("the
+// MLP node count and the termination threshold were manually tuned for the
+// first trial"): every candidate hidden-layer layout is scored by k-fold
+// cross-validation and the lowest-error one wins. Ties in error (within
+// 2% relative) break toward fewer parameters, honoring §3.3's preference
+// for flexible, loosely fitted models.
+func SelectNodeCount(ds *workload.Dataset, base Config, candidates [][]int, k int, seed uint64) (*SelectionResult, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("core: no candidate topologies")
+	}
+	res := &SelectionResult{}
+	for _, hidden := range candidates {
+		if len(hidden) == 0 {
+			return nil, errors.New("core: empty hidden layout in candidates")
+		}
+		cfg := base
+		cfg.Hidden = hidden
+		cv, err := CrossValidate(ds, cfg, k, seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: scoring topology %v: %w", hidden, err)
+		}
+		// Parameter count of the full topology.
+		params := 0
+		prev := ds.NumFeatures()
+		for _, h := range hidden {
+			params += prev*h + h
+			prev = h
+		}
+		params += prev*ds.NumTargets() + ds.NumTargets()
+
+		res.Candidates = append(res.Candidates, NodeCountResult{
+			Hidden: append([]int(nil), hidden...),
+			Error:  cv.OverallError(),
+			Params: params,
+		})
+	}
+	best := res.Candidates[0]
+	for _, c := range res.Candidates[1:] {
+		switch {
+		case c.Error < best.Error*0.98:
+			best = c
+		case c.Error <= best.Error*1.02 && c.Params < best.Params:
+			best = c
+		}
+	}
+	res.Best = best
+	return res, nil
+}

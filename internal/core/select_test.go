@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSelectNodeCountPicksReasonableTopology(t *testing.T) {
+	ds := syntheticDataset(120, 30)
+	base := fastConfig()
+	res, err := SelectNodeCount(ds, base, [][]int{{1}, {8}, {16}}, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 3 {
+		t.Fatalf("%d candidates scored", len(res.Candidates))
+	}
+	// A single hidden node cannot represent 3a²−b and sin(a)+2b at once;
+	// the winner must be one of the wider nets.
+	if len(res.Best.Hidden) == 1 && res.Best.Hidden[0] == 1 {
+		t.Fatalf("selected the 1-node topology (error %v)", res.Best.Error)
+	}
+	// The best candidate's error must be the minimum within the 2% tie
+	// tolerance.
+	for _, c := range res.Candidates {
+		if c.Error < res.Best.Error*0.98 {
+			t.Fatalf("candidate %v (err %v) beats the winner (err %v)", c.Hidden, c.Error, res.Best.Error)
+		}
+	}
+}
+
+func TestSelectNodeCountTieBreaksTowardFewerParams(t *testing.T) {
+	ds := syntheticDataset(100, 31)
+	base := fastConfig()
+	// Two generously sized nets will both fit well; the smaller should
+	// win on a tie.
+	res, err := SelectNodeCount(ds, base, [][]int{{24}, {10}}, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Error > res.Candidates[0].Error*1.02 &&
+		res.Best.Error > res.Candidates[1].Error*1.02 {
+		t.Fatal("winner outside tie tolerance")
+	}
+	// Parameter counts recorded correctly: 2→h→2 has 2h+h + 2h+2 params.
+	for _, c := range res.Candidates {
+		h := c.Hidden[0]
+		want := 2*h + h + h*2 + 2
+		if c.Params != want {
+			t.Fatalf("params for %v = %d, want %d", c.Hidden, c.Params, want)
+		}
+	}
+}
+
+func TestSelectNodeCountErrors(t *testing.T) {
+	ds := syntheticDataset(30, 32)
+	if _, err := SelectNodeCount(ds, fastConfig(), nil, 3, 1); err == nil {
+		t.Fatal("no candidates accepted")
+	}
+	if _, err := SelectNodeCount(ds, fastConfig(), [][]int{{}}, 3, 1); err == nil {
+		t.Fatal("empty layout accepted")
+	}
+	if _, err := SelectNodeCount(ds, fastConfig(), [][]int{{4}}, 99, 1); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}

@@ -1,0 +1,261 @@
+package doe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func inUnitCube(points [][]float64) bool {
+	for _, p := range points {
+		for _, v := range p {
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFullFactorialCountAndCoverage(t *testing.T) {
+	pts, err := FullFactorial{Levels: 3}.Points(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("%d points, want 9", len(pts))
+	}
+	if !inUnitCube(pts) {
+		t.Fatal("points outside [0,1)")
+	}
+	// Each dimension should take exactly 3 distinct values.
+	for j := 0; j < 2; j++ {
+		vals := map[float64]bool{}
+		for _, p := range pts {
+			vals[p[j]] = true
+		}
+		if len(vals) != 3 {
+			t.Fatalf("dimension %d has %d levels", j, len(vals))
+		}
+	}
+}
+
+func TestFullFactorialErrors(t *testing.T) {
+	if _, err := (FullFactorial{Levels: 1}).Points(0, 2); err == nil {
+		t.Fatal("1 level accepted")
+	}
+	if _, err := (FullFactorial{Levels: 2}).Points(0, 0); err == nil {
+		t.Fatal("0 dims accepted")
+	}
+	if _, err := (FullFactorial{Levels: 10}).Points(0, 12); err == nil {
+		t.Fatal("10^12 grid accepted")
+	}
+}
+
+func TestUniformRandom(t *testing.T) {
+	pts, err := UniformRandom{Seed: 1}.Points(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 100 || len(pts[0]) != 3 {
+		t.Fatal("shape wrong")
+	}
+	if !inUnitCube(pts) {
+		t.Fatal("points outside [0,1)")
+	}
+	again, err := UniformRandom{Seed: 1}.Points(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[50][1] != again[50][1] {
+		t.Fatal("not deterministic")
+	}
+	if _, err := (UniformRandom{}).Points(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		n := 16
+		pts, err := LatinHypercube{Seed: seed}.Points(n, 4)
+		if err != nil || !inUnitCube(pts) {
+			return false
+		}
+		// Every dimension: each of n bins hit exactly once.
+		for j := 0; j < 4; j++ {
+			bins := make([]int, n)
+			for _, p := range pts {
+				bins[int(p[j]*float64(n))]++
+			}
+			for _, c := range bins {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatinHypercubeCentered(t *testing.T) {
+	pts, err := LatinHypercube{Seed: 3, Centered: true}.Points(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[float64]bool{0.125: true, 0.375: true, 0.625: true, 0.875: true}
+	for _, p := range pts {
+		if !want[p[0]] {
+			t.Fatalf("centered point %v not at a bin centre", p[0])
+		}
+	}
+}
+
+func TestLHSBeatsRandomOnDiscrepancy(t *testing.T) {
+	// The reason LHS exists: better uniformity at the same budget. Use a
+	// few seeds to avoid a fluke.
+	var lhsSum, rndSum float64
+	for seed := uint64(0); seed < 5; seed++ {
+		lhs, err := LatinHypercube{Seed: seed}.Points(32, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd, err := UniformRandom{Seed: seed}.Points(32, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dl, err := Discrepancy(lhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr, err := Discrepancy(rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhsSum += dl
+		rndSum += dr
+	}
+	if lhsSum >= rndSum {
+		t.Fatalf("LHS discrepancy %v not below random %v", lhsSum/5, rndSum/5)
+	}
+}
+
+func TestScale(t *testing.T) {
+	pts := [][]float64{{0, 0.5}, {0.999999, 0.25}}
+	dims := []Dimension{
+		{Name: "rate", Lo: 400, Hi: 600},
+		{Name: "threads", Lo: 2, Hi: 10, Integer: true},
+	}
+	out, err := Scale(pts, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 400 || math.Abs(out[1][0]-600) > 0.01 {
+		t.Fatalf("continuous scaling wrong: %v", out)
+	}
+	if out[0][1] != 6 || out[1][1] != 4 {
+		t.Fatalf("integer scaling wrong: %v", out)
+	}
+	for _, row := range out {
+		if row[1] != math.Round(row[1]) {
+			t.Fatal("integer dim not integral")
+		}
+	}
+}
+
+func TestScaleErrors(t *testing.T) {
+	if _, err := Scale([][]float64{{0.5}}, nil); err == nil {
+		t.Fatal("no dims accepted")
+	}
+	if _, err := Scale([][]float64{{0.5, 0.5}}, []Dimension{{Lo: 0, Hi: 1}}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := Scale([][]float64{{0.5}}, []Dimension{{Lo: 1, Hi: 0}}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestDiscrepancyKnownOrdering(t *testing.T) {
+	// A clustered design must have higher discrepancy than a spread one.
+	clustered := [][]float64{{0.1, 0.1}, {0.11, 0.1}, {0.1, 0.11}, {0.12, 0.12}}
+	spread := [][]float64{{0.125, 0.125}, {0.375, 0.625}, {0.625, 0.375}, {0.875, 0.875}}
+	dc, err := Discrepancy(clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Discrepancy(spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc <= ds {
+		t.Fatalf("clustered %v not worse than spread %v", dc, ds)
+	}
+	if _, err := Discrepancy(nil); err == nil {
+		t.Fatal("empty points accepted")
+	}
+}
+
+func TestDesignNames(t *testing.T) {
+	for _, d := range []Design{FullFactorial{Levels: 3}, UniformRandom{}, LatinHypercube{}} {
+		if d.Name() == "" {
+			t.Fatal("empty design name")
+		}
+	}
+}
+
+func TestPlackettBurmanOrthogonality(t *testing.T) {
+	for _, d := range []int{3, 7, 11, 15, 19} {
+		pts, err := PlackettBurman{}.Points(0, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inUnitCube(pts) {
+			t.Fatal("PB points outside [0,1)")
+		}
+		n := len(pts)
+		// Recode to ±1.
+		code := func(v float64) float64 {
+			if v > 0.5 {
+				return 1
+			}
+			return -1
+		}
+		// Each column balanced: sum = -1 (cyclic rows sum to +1... the
+		// all-low row tips it); exact balance property: each column has
+		// runs/2 highs.
+		for j := 0; j < d; j++ {
+			highs := 0
+			for i := 0; i < n; i++ {
+				if code(pts[i][j]) > 0 {
+					highs++
+				}
+			}
+			if highs != n/2 {
+				t.Fatalf("d=%d: column %d has %d highs of %d runs", d, j, highs, n)
+			}
+		}
+		// Pairwise orthogonality of the ±1 columns.
+		for a := 0; a < d; a++ {
+			for b := a + 1; b < d; b++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += code(pts[i][a]) * code(pts[i][b])
+				}
+				if dot != 0 {
+					t.Fatalf("d=%d: columns %d,%d not orthogonal (dot %v)", d, a, b, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestPlackettBurmanErrors(t *testing.T) {
+	if _, err := (PlackettBurman{}).Points(0, 0); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := (PlackettBurman{}).Points(0, 20); err == nil {
+		t.Fatal("d=20 accepted")
+	}
+}

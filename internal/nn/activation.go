@@ -1,0 +1,141 @@
+// Package nn implements the paper's artificial-neural-network building
+// blocks (§2): the perceptron computing y = f(Σ wᵢxᵢ − w₀), squashing
+// activation functions (most prominently the logistic sigmoid with a slope
+// parameter, Figure 2), and multilayer perceptrons (Figure 3) mapping an
+// n-dimensional configuration space to an m-dimensional performance-
+// indicator space.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation is a differentiable squashing (or pass-through) function
+// applied to a perceptron's weighted sum.
+type Activation interface {
+	// Eval returns f(x).
+	Eval(x float64) float64
+	// Deriv returns f'(x) given both the pre-activation x and the cached
+	// output y = f(x); implementations use whichever is cheaper.
+	Deriv(x, y float64) float64
+	// Name identifies the activation for serialization.
+	Name() string
+}
+
+// Logistic is the paper's sigmoid y = 1 / (1 + exp(−αx)) (§2.1). The slope
+// parameter α controls the fuzziness of the decision boundary: as |α| grows
+// the function approaches a hard limiter (Figure 2).
+//
+// Note the paper prints the formula as 1/(1+exp(αx)); with a positive α
+// that form is strictly decreasing, contradicting the stated "strictly
+// increasing" sigmoid property and Figure 2, so we use the conventional
+// negative exponent.
+type Logistic struct {
+	Alpha float64 // slope parameter; 1 gives the standard logistic
+}
+
+// Eval returns 1/(1+exp(−αx)).
+func (l Logistic) Eval(x float64) float64 {
+	return 1 / (1 + math.Exp(-l.Alpha*x))
+}
+
+// Deriv returns α·y·(1−y).
+func (l Logistic) Deriv(_, y float64) float64 {
+	return l.Alpha * y * (1 - y)
+}
+
+// Name implements Activation.
+func (l Logistic) Name() string { return fmt.Sprintf("logistic(%g)", l.Alpha) }
+
+// Tanh is the hyperbolic-tangent squashing function, a zero-centred
+// alternative to the logistic that often trains faster on standardized
+// inputs.
+type Tanh struct{}
+
+// Eval returns tanh(x).
+func (Tanh) Eval(x float64) float64 { return math.Tanh(x) }
+
+// Deriv returns 1 − y².
+func (Tanh) Deriv(_, y float64) float64 { return 1 - y*y }
+
+// Name implements Activation.
+func (Tanh) Name() string { return "tanh" }
+
+// ReLU is the rectified linear unit, max(0, x). Included for ablations;
+// the paper predates its popularity.
+type ReLU struct{}
+
+// Eval returns max(0, x).
+func (ReLU) Eval(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Deriv returns 1 for x > 0 and 0 otherwise.
+func (ReLU) Deriv(x, _ float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Activation.
+func (ReLU) Name() string { return "relu" }
+
+// Identity is the pass-through activation used on output layers for
+// regression, so the network range is unbounded.
+type Identity struct{}
+
+// Eval returns x.
+func (Identity) Eval(x float64) float64 { return x }
+
+// Deriv returns 1.
+func (Identity) Deriv(_, _ float64) float64 { return 1 }
+
+// Name implements Activation.
+func (Identity) Name() string { return "identity" }
+
+// LogCompress is the signed logarithmic squashing function
+// sign(x)·ln(1+|x|) used by logarithmic neural networks (Hines 1996,
+// paper ref. [23]) to keep responses bounded-growth and improve
+// extrapolation outside the training range (§5.3).
+type LogCompress struct{}
+
+// Eval returns sign(x)·ln(1+|x|).
+func (LogCompress) Eval(x float64) float64 {
+	if x >= 0 {
+		return math.Log1p(x)
+	}
+	return -math.Log1p(-x)
+}
+
+// Deriv returns 1/(1+|x|).
+func (LogCompress) Deriv(x, _ float64) float64 {
+	return 1 / (1 + math.Abs(x))
+}
+
+// Name implements Activation.
+func (LogCompress) Name() string { return "logcompress" }
+
+// ActivationByName reconstructs an activation from its Name() string,
+// for model deserialization.
+func ActivationByName(name string) (Activation, error) {
+	switch name {
+	case "tanh":
+		return Tanh{}, nil
+	case "relu":
+		return ReLU{}, nil
+	case "identity":
+		return Identity{}, nil
+	case "logcompress":
+		return LogCompress{}, nil
+	}
+	var alpha float64
+	if n, err := fmt.Sscanf(name, "logistic(%g)", &alpha); err == nil && n == 1 {
+		return Logistic{Alpha: alpha}, nil
+	}
+	return nil, fmt.Errorf("nn: unknown activation %q", name)
+}

@@ -1,0 +1,39 @@
+// Package lnn implements a logarithmic neural network in the spirit of
+// Hines, "A logarithmic neural network architecture for unbounded
+// non-linear function approximation" (ICNN 1996) — the paper's reference
+// [23], cited in §5.3 as the remedy for MLPs' rapid accuracy loss outside
+// the training range.
+//
+// The network replaces the bounded sigmoid hidden units with signed
+// log-compression units, sign(x)·ln(1+|x|), so the hidden responses keep
+// growing (slowly) outside the training region instead of saturating flat.
+// Combined with an identity output layer this yields graceful, monotone
+// extrapolation while retaining enough curvature for interpolation.
+package lnn
+
+import (
+	"nnwc/internal/nn"
+	"nnwc/internal/rng"
+)
+
+// New builds a logarithmic network with the given sizes (sizes[0] inputs,
+// sizes[len-1] outputs) and Xavier-initialized weights.
+func New(sizes []int, src *rng.Source) *nn.Network {
+	net := nn.NewNetwork(sizes, nn.LogCompress{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	return net
+}
+
+// NewHybrid builds a network whose first hidden layer is logarithmic and
+// whose remaining hidden layers are tanh, a configuration Hines found to
+// trade interpolation accuracy against extrapolation robustness.
+func NewHybrid(sizes []int, src *rng.Source) *nn.Network {
+	net := nn.NewNetwork(sizes, nn.Tanh{}, nn.Identity{})
+	if len(net.Layers) > 1 {
+		first := net.Layers[0]
+		replaced := nn.NewLayer(first.Inputs, first.Outputs, nn.LogCompress{})
+		net.Layers[0] = replaced
+	}
+	nn.XavierInit{}.Init(net, src)
+	return net
+}

@@ -1,0 +1,62 @@
+package lnn
+
+import (
+	"math"
+	"testing"
+
+	"nnwc/internal/nn"
+	"nnwc/internal/rng"
+)
+
+func TestNewTopology(t *testing.T) {
+	net := New([]int{3, 8, 2}, rng.New(1))
+	if net.InputDim() != 3 || net.OutputDim() != 2 {
+		t.Fatalf("dims %d→%d", net.InputDim(), net.OutputDim())
+	}
+	if net.Layers[0].Act.Name() != "logcompress" {
+		t.Fatalf("hidden activation %s", net.Layers[0].Act.Name())
+	}
+	if net.Layers[1].Act.Name() != "identity" {
+		t.Fatalf("output activation %s", net.Layers[1].Act.Name())
+	}
+}
+
+func TestNewHybridFirstLayerLogarithmic(t *testing.T) {
+	net := NewHybrid([]int{2, 6, 6, 1}, rng.New(2))
+	if net.Layers[0].Act.Name() != "logcompress" {
+		t.Fatal("first hidden layer should be logarithmic")
+	}
+	if net.Layers[1].Act.Name() != "tanh" {
+		t.Fatal("second hidden layer should be tanh")
+	}
+}
+
+func TestLNNOutputGrowsOutsideRange(t *testing.T) {
+	// The defining property vs a sigmoid MLP: as the input moves far
+	// beyond any training range, the logarithmic network's response keeps
+	// moving (log-slowly) instead of saturating to a constant.
+	src := rng.New(3)
+	logNet := New([]int{1, 8, 1}, src.Split())
+	sigNet := nn.NewNetwork([]int{1, 8, 1}, nn.Logistic{Alpha: 1}, nn.Identity{})
+	nn.XavierInit{}.Init(sigNet, src.Split())
+
+	deltaAt := func(net *nn.Network, x float64) float64 {
+		return math.Abs(net.Forward([]float64{x * 2})[0] - net.Forward([]float64{x})[0])
+	}
+	// Far from the origin the sigmoid net is flat; the log net is not.
+	if d := deltaAt(sigNet, 1e6); d > 1e-9 {
+		t.Fatalf("sigmoid net still moving at 1e6: %v", d)
+	}
+	if d := deltaAt(logNet, 1e6); d == 0 {
+		t.Fatal("logarithmic net saturated like a sigmoid")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := New([]int{2, 4, 1}, rng.New(7))
+	b := New([]int{2, 4, 1}, rng.New(7))
+	x := []float64{1.5, -2}
+	if a.Forward(x)[0] != b.Forward(x)[0] {
+		t.Fatal("same seed gave different networks")
+	}
+}

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"nnwc/internal/rng"
+)
+
+// Layer is one fully connected layer of perceptrons. Each of the Outputs
+// perceptrons computes act(Σⱼ W[i][j]·xⱼ + B[i]); the bias B[i] plays the
+// role of the paper's −w₀ threshold term.
+type Layer struct {
+	Inputs, Outputs int
+	W               [][]float64 // Outputs × Inputs weights
+	B               []float64   // Outputs biases
+	Act             Activation
+}
+
+// NewLayer allocates a zero-weight layer.
+func NewLayer(inputs, outputs int, act Activation) *Layer {
+	if inputs <= 0 || outputs <= 0 {
+		panic(fmt.Sprintf("nn: invalid layer shape %d->%d", inputs, outputs))
+	}
+	w := make([][]float64, outputs)
+	for i := range w {
+		w[i] = make([]float64, inputs)
+	}
+	return &Layer{Inputs: inputs, Outputs: outputs, W: w, B: make([]float64, outputs), Act: act}
+}
+
+// Forward computes the layer output for input x, also returning the
+// pre-activation sums (needed by back-propagation).
+func (l *Layer) Forward(x []float64) (out, pre []float64) {
+	if len(x) != l.Inputs {
+		panic(fmt.Sprintf("nn: layer expects %d inputs, got %d", l.Inputs, len(x)))
+	}
+	out = make([]float64, l.Outputs)
+	pre = make([]float64, l.Outputs)
+	for i := 0; i < l.Outputs; i++ {
+		s := l.B[i]
+		w := l.W[i]
+		for j, xv := range x {
+			s += w[j] * xv
+		}
+		pre[i] = s
+		out[i] = l.Act.Eval(s)
+	}
+	return out, pre
+}
+
+// NumParams returns the number of trainable parameters in the layer.
+func (l *Layer) NumParams() int { return l.Outputs*l.Inputs + l.Outputs }
+
+// Network is a multilayer perceptron: an input "layer" (not counted, per
+// the paper's convention in §2.2), zero or more hidden layers, and an
+// output layer.
+type Network struct {
+	Layers []*Layer
+}
+
+// NewNetwork builds an MLP with the given layer sizes. sizes[0] is the
+// input dimensionality; sizes[len-1] the output dimensionality. hidden is
+// the activation for hidden layers; output for the final layer (Identity
+// for regression).
+func NewNetwork(sizes []int, hidden, output Activation) *Network {
+	if len(sizes) < 2 {
+		panic("nn: network needs at least input and output sizes")
+	}
+	n := &Network{}
+	for i := 0; i < len(sizes)-1; i++ {
+		act := hidden
+		if i == len(sizes)-2 {
+			act = output
+		}
+		n.Layers = append(n.Layers, NewLayer(sizes[i], sizes[i+1], act))
+	}
+	return n
+}
+
+// InputDim returns the expected input dimensionality.
+func (n *Network) InputDim() int { return n.Layers[0].Inputs }
+
+// OutputDim returns the output dimensionality.
+func (n *Network) OutputDim() int { return n.Layers[len(n.Layers)-1].Outputs }
+
+// Sizes returns the layer sizes including input and output.
+func (n *Network) Sizes() []int {
+	sizes := []int{n.InputDim()}
+	for _, l := range n.Layers {
+		sizes = append(sizes, l.Outputs)
+	}
+	return sizes
+}
+
+// NumParams returns the total number of trainable parameters.
+func (n *Network) NumParams() int {
+	var p int
+	for _, l := range n.Layers {
+		p += l.NumParams()
+	}
+	return p
+}
+
+// Forward runs the network on x and returns the output vector.
+func (n *Network) Forward(x []float64) []float64 {
+	out := x
+	for _, l := range n.Layers {
+		out, _ = l.Forward(out)
+	}
+	return out
+}
+
+// ForwardTrace runs the network and returns every layer's activations and
+// pre-activations. acts[0] is the input; acts[i+1] and pres[i] belong to
+// layer i. Back-propagation consumes this trace.
+func (n *Network) ForwardTrace(x []float64) (acts, pres [][]float64) {
+	acts = make([][]float64, len(n.Layers)+1)
+	pres = make([][]float64, len(n.Layers))
+	acts[0] = x
+	for i, l := range n.Layers {
+		acts[i+1], pres[i] = l.Forward(acts[i])
+	}
+	return acts, pres
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := &Network{Layers: make([]*Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		nl := NewLayer(l.Inputs, l.Outputs, l.Act)
+		for r := range l.W {
+			copy(nl.W[r], l.W[r])
+		}
+		copy(nl.B, l.B)
+		c.Layers[i] = nl
+	}
+	return c
+}
+
+// CopyWeightsFrom overwrites n's parameters with src's. The topologies
+// must match.
+func (n *Network) CopyWeightsFrom(src *Network) {
+	if len(n.Layers) != len(src.Layers) {
+		panic("nn: topology mismatch in CopyWeightsFrom")
+	}
+	for i, l := range n.Layers {
+		sl := src.Layers[i]
+		if l.Inputs != sl.Inputs || l.Outputs != sl.Outputs {
+			panic("nn: layer shape mismatch in CopyWeightsFrom")
+		}
+		for r := range l.W {
+			copy(l.W[r], sl.W[r])
+		}
+		copy(l.B, sl.B)
+	}
+}
+
+// Initializer seeds a network's weights before training. The paper notes
+// the weights and biases "are initialized with random values when the
+// training process begins" (§3.1).
+type Initializer interface {
+	Init(n *Network, src *rng.Source)
+}
+
+// UniformInit draws weights and biases uniformly from [−Scale, Scale].
+type UniformInit struct{ Scale float64 }
+
+// Init implements Initializer.
+func (u UniformInit) Init(n *Network, src *rng.Source) {
+	s := u.Scale
+	if s <= 0 {
+		s = 0.5
+	}
+	for _, l := range n.Layers {
+		for _, row := range l.W {
+			for j := range row {
+				row[j] = src.Uniform(-s, s)
+			}
+		}
+		for i := range l.B {
+			l.B[i] = src.Uniform(-s, s)
+		}
+	}
+}
+
+// XavierInit draws weights from a uniform distribution whose scale depends
+// on fan-in and fan-out (Glorot & Bengio), which keeps activation variance
+// stable across layers; biases start at zero.
+type XavierInit struct{}
+
+// Init implements Initializer.
+func (XavierInit) Init(n *Network, src *rng.Source) {
+	for _, l := range n.Layers {
+		limit := math.Sqrt(6 / float64(l.Inputs+l.Outputs))
+		for _, row := range l.W {
+			for j := range row {
+				row[j] = src.Uniform(-limit, limit)
+			}
+		}
+		for i := range l.B {
+			l.B[i] = 0
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// networkJSON is the on-disk representation of a Network. Activations are
+// stored by Name() so slope parameters round-trip.
+type networkJSON struct {
+	Layers []layerJSON `json:"layers"`
+}
+
+type layerJSON struct {
+	Inputs     int         `json:"inputs"`
+	Outputs    int         `json:"outputs"`
+	Activation string      `json:"activation"`
+	W          [][]float64 `json:"w"`
+	B          []float64   `json:"b"`
+}
+
+// Save writes the network as JSON.
+func (n *Network) Save(w io.Writer) error {
+	doc := networkJSON{}
+	for _, l := range n.Layers {
+		doc.Layers = append(doc.Layers, layerJSON{
+			Inputs:     l.Inputs,
+			Outputs:    l.Outputs,
+			Activation: l.Act.Name(),
+			W:          l.W,
+			B:          l.B,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var doc networkJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("nn: decoding network: %w", err)
+	}
+	if len(doc.Layers) == 0 {
+		return nil, fmt.Errorf("nn: network file contains no layers")
+	}
+	n := &Network{}
+	prevOut := -1
+	for i, lj := range doc.Layers {
+		act, err := ActivationByName(lj.Activation)
+		if err != nil {
+			return nil, err
+		}
+		if lj.Inputs <= 0 || lj.Outputs <= 0 {
+			return nil, fmt.Errorf("nn: layer %d has invalid shape %d->%d", i, lj.Inputs, lj.Outputs)
+		}
+		if prevOut != -1 && lj.Inputs != prevOut {
+			return nil, fmt.Errorf("nn: layer %d inputs (%d) do not match previous outputs (%d)", i, lj.Inputs, prevOut)
+		}
+		if len(lj.W) != lj.Outputs || len(lj.B) != lj.Outputs {
+			return nil, fmt.Errorf("nn: layer %d weight/bias rows do not match outputs", i)
+		}
+		l := NewLayer(lj.Inputs, lj.Outputs, act)
+		for r := range lj.W {
+			if len(lj.W[r]) != lj.Inputs {
+				return nil, fmt.Errorf("nn: layer %d weight row %d has %d entries, want %d", i, r, len(lj.W[r]), lj.Inputs)
+			}
+			copy(l.W[r], lj.W[r])
+		}
+		copy(l.B, lj.B)
+		n.Layers = append(n.Layers, l)
+		prevOut = lj.Outputs
+	}
+	return n, nil
+}

@@ -1,0 +1,240 @@
+// Package plot renders the paper's figures as terminal graphics and emits
+// machine-readable CSV series. Figures 5 and 6 (actual 'o' vs predicted
+// 'x' per sample index) become ASCII scatter charts; Figures 4, 7 and 8
+// (3-D response surfaces) become ASCII heat maps plus gnuplot-ready grids.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Scatter renders one indicator's actual ('o') and predicted ('x') values
+// against sample index, the layout of the paper's Figures 5 and 6. Points
+// that coincide in a cell render as '*'.
+type Scatter struct {
+	Title         string
+	YLabel        string
+	Actual, Pred  []float64
+	Width, Height int // character cell budget; defaults 72×16
+}
+
+// Render writes the chart to w.
+func (s Scatter) Render(w io.Writer) error {
+	width, height := s.Width, s.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	n := len(s.Actual)
+	if n == 0 || n != len(s.Pred) {
+		return fmt.Errorf("plot: scatter needs equal, non-zero series (got %d, %d)", len(s.Actual), len(s.Pred))
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for _, v := range [2]float64{s.Actual[i], s.Pred[i]} {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	cellFor := func(i int, v float64) (row, col int) {
+		col = 0
+		if n > 1 {
+			col = i * (width - 1) / (n - 1)
+		}
+		row = height - 1 - int((v-lo)/(hi-lo)*float64(height-1)+0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row, col
+	}
+	put := func(i int, v float64, mark byte) {
+		r, c := cellFor(i, v)
+		switch grid[r][c] {
+		case ' ':
+			grid[r][c] = mark
+		case mark:
+		default:
+			grid[r][c] = '*'
+		}
+	}
+	for i := 0; i < n; i++ {
+		put(i, s.Actual[i], 'o')
+		put(i, s.Pred[i], 'x')
+	}
+
+	if s.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", s.Title); err != nil {
+			return err
+		}
+	}
+	axisW := 10
+	for r, rowBytes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%9.3g", (hi+lo)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%*s |%s\n", axisW-1, label, string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%*s +%s\n", axisW-1, "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%*s  1%*s%d   (sample index; o=actual x=predicted *=both)\n",
+		axisW-1, s.YLabel, width-len(fmt.Sprint(n))-1, "", n); err != nil {
+		return err
+	}
+	return nil
+}
+
+// HeatMap renders a 2-D surface as character shades, the terminal stand-in
+// for the paper's 3-D diagrams. Z[i][j] corresponds to (XValues[i],
+// YValues[j]); rows of the printout iterate Y (descending) and columns X.
+type HeatMap struct {
+	Title            string
+	XLabel, YLabel   string
+	XValues, YValues []float64
+	Z                [][]float64
+	// Marks overlays characters at grid cells, e.g. the location of a
+	// recommended optimum. Keyed by [i][j] grid coordinates.
+	Marks map[[2]int]byte
+}
+
+// shades from low to high.
+const shadeRamp = " .:-=+*#%@"
+
+// Render writes the heat map to w.
+func (h HeatMap) Render(w io.Writer) error {
+	if len(h.Z) == 0 || len(h.Z) != len(h.XValues) {
+		return fmt.Errorf("plot: heat map Z rows (%d) must match XValues (%d)", len(h.Z), len(h.XValues))
+	}
+	for _, row := range h.Z {
+		if len(row) != len(h.YValues) {
+			return fmt.Errorf("plot: heat map Z columns must match YValues")
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range h.Z {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	if h.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", h.Title); err != nil {
+			return err
+		}
+	}
+	// Y descending so larger values print on top, like a plot.
+	for j := len(h.YValues) - 1; j >= 0; j-- {
+		if _, err := fmt.Fprintf(w, "%8.3g |", h.YValues[j]); err != nil {
+			return err
+		}
+		for i := range h.XValues {
+			ch := shadeRamp[int((h.Z[i][j]-lo)/(hi-lo)*float64(len(shadeRamp)-1))]
+			if m, ok := h.Marks[[2]int{i, j}]; ok {
+				ch = m
+			}
+			if _, err := fmt.Fprintf(w, " %c", ch); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", 2*len(h.XValues))); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s  ", h.YLabel); err != nil {
+		return err
+	}
+	for _, xv := range h.XValues {
+		if _, err := fmt.Fprintf(w, "%v ", compactNum(xv)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, " (%s; shade low→high: %q)\n", h.XLabel, shadeRamp); err != nil {
+		return err
+	}
+	return nil
+}
+
+func compactNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 100 {
+		return fmt.Sprintf("%d", int(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// WriteSurfaceCSV emits the surface as x,y,z rows (gnuplot splot format,
+// with a blank line between x-blocks).
+func WriteSurfaceCSV(w io.Writer, xValues, yValues []float64, z [][]float64) error {
+	if _, err := fmt.Fprintln(w, "x,y,z"); err != nil {
+		return err
+	}
+	for i, xv := range xValues {
+		for j, yv := range yValues {
+			if _, err := fmt.Fprintf(w, "%g,%g,%g\n", xv, yv, z[i][j]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV emits index,actual,predicted rows (the data of Figures
+// 5/6).
+func WriteSeriesCSV(w io.Writer, actual, pred []float64) error {
+	if len(actual) != len(pred) {
+		return fmt.Errorf("plot: series length mismatch")
+	}
+	if _, err := fmt.Fprintln(w, "index,actual,predicted"); err != nil {
+		return err
+	}
+	for i := range actual {
+		if _, err := fmt.Fprintf(w, "%d,%g,%g\n", i+1, actual[i], pred[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

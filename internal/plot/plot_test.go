@@ -1,0 +1,163 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScatterRenders(t *testing.T) {
+	var buf bytes.Buffer
+	s := Scatter{
+		Title:  "test chart",
+		YLabel: "rt",
+		Actual: []float64{1, 2, 3, 4, 5},
+		Pred:   []float64{1.1, 2.2, 2.9, 4.5, 4.9},
+		Width:  40,
+		Height: 10,
+	}
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatal("marks missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + footer
+	if len(lines) != 1+10+1+1 {
+		t.Fatalf("%d lines rendered", len(lines))
+	}
+}
+
+func TestScatterCoincidentPointsStar(t *testing.T) {
+	var buf bytes.Buffer
+	s := Scatter{Actual: []float64{5, 5}, Pred: []float64{5, 5}, Width: 10, Height: 5}
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("coincident points should render '*'")
+	}
+}
+
+func TestScatterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Scatter{}).Render(&buf); err == nil {
+		t.Fatal("empty scatter accepted")
+	}
+	if err := (Scatter{Actual: []float64{1}, Pred: []float64{1, 2}}).Render(&buf); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestScatterConstantSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	var buf bytes.Buffer
+	s := Scatter{Actual: []float64{3, 3, 3}, Pred: []float64{3, 3, 3}}
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatMapRenders(t *testing.T) {
+	var buf bytes.Buffer
+	h := HeatMap{
+		Title:   "surface",
+		XLabel:  "default",
+		YLabel:  "web",
+		XValues: []float64{1, 2, 3},
+		YValues: []float64{10, 20},
+		Z:       [][]float64{{0, 1}, {2, 3}, {4, 5}},
+	}
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "surface") || !strings.Contains(out, "default") {
+		t.Fatal("labels missing")
+	}
+	// Max value renders as the densest shade.
+	if !strings.Contains(out, "@") {
+		t.Fatal("max shade missing")
+	}
+}
+
+func TestHeatMapMarks(t *testing.T) {
+	var buf bytes.Buffer
+	h := HeatMap{
+		XValues: []float64{1, 2},
+		YValues: []float64{1, 2},
+		Z:       [][]float64{{0, 0}, {0, 0}},
+		Marks:   map[[2]int]byte{{1, 1}: 'X'},
+	}
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "X") {
+		t.Fatal("mark not rendered")
+	}
+}
+
+func TestHeatMapShapeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	bad := HeatMap{XValues: []float64{1}, YValues: []float64{1}, Z: [][]float64{{1}, {2}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	bad2 := HeatMap{XValues: []float64{1}, YValues: []float64{1, 2}, Z: [][]float64{{1}}}
+	if err := bad2.Render(&buf); err == nil {
+		t.Fatal("column mismatch accepted")
+	}
+}
+
+func TestHeatMapConstantSurface(t *testing.T) {
+	var buf bytes.Buffer
+	h := HeatMap{
+		XValues: []float64{1, 2},
+		YValues: []float64{1, 2},
+		Z:       [][]float64{{7, 7}, {7, 7}},
+	}
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSurfaceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSurfaceCSV(&buf, []float64{1, 2}, []float64{3}, [][]float64{{10}, {20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "x,y,z\n") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "1,3,10") || !strings.Contains(out, "2,3,20") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	// Blank line between x-blocks (gnuplot convention).
+	if !strings.Contains(out, "\n\n") {
+		t.Fatal("block separator missing")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, []float64{1, 2}, []float64{1.5, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "index,actual,predicted\n") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "1,1,1.5") || !strings.Contains(out, "2,2,2.5") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+	if err := WriteSeriesCSV(&buf, []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}

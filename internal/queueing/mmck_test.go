@@ -1,0 +1,166 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nnwc/internal/rng"
+)
+
+func TestMMCKReducesToErlangB(t *testing.T) {
+	// K = c (no waiting room) is the Erlang-B loss system; check against
+	// the classic value B(c=2, a=1) = (1/2)/(1+1+1/2) = 0.2.
+	q := MMCK{Lambda: 1, Mu: 1, C: 2, K: 2}
+	pb, err := q.BlockingProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pb-0.2) > 1e-12 {
+		t.Fatalf("Erlang-B blocking %v, want 0.2", pb)
+	}
+}
+
+func TestMMCKApproachesMMCForLargeK(t *testing.T) {
+	// With a huge waiting room and ρ < 1, the M/M/c/K metrics converge to
+	// the infinite-capacity M/M/c ones.
+	base := MMC{Lambda: 10, Mu: 1.5, C: 8}
+	wInf, err := base.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finite := MMCK{Lambda: 10, Mu: 1.5, C: 8, K: 500}
+	wFin, err := finite.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wFin-wInf)/wInf > 1e-6 {
+		t.Fatalf("large-K M/M/c/K response %v, M/M/c %v", wFin, wInf)
+	}
+	pb, err := finite.BlockingProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb > 1e-9 {
+		t.Fatalf("large-K blocking %v should vanish", pb)
+	}
+}
+
+func TestMMCKStableUnderOverload(t *testing.T) {
+	// Unlike M/M/c, the finite system has well-defined metrics at ρ > 1,
+	// with blocking absorbing the excess.
+	q := MMCK{Lambda: 100, Mu: 1, C: 8, K: 40}
+	pb, err := q.BlockingProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb < 0.9 {
+		t.Fatalf("overloaded blocking %v, want ≈ 1−8/100", pb)
+	}
+	tput, err := q.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accepted throughput cannot exceed service capacity c·μ.
+	if tput > 8.0001 {
+		t.Fatalf("throughput %v exceeds capacity", tput)
+	}
+	u, err := q.Utilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0.99 {
+		t.Fatalf("overloaded utilization %v, want ~1", u)
+	}
+}
+
+func TestMMCKProbabilitiesSumToOne(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		c := 1 + src.Intn(16)
+		k := c + src.Intn(100)
+		q := MMCK{Lambda: 0.1 + src.Float64()*50, Mu: 0.1 + src.Float64()*5, C: c, K: k}
+		p, err := q.stateProbabilities()
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMCKBlockingMonotoneInLoad(t *testing.T) {
+	prev := 0.0
+	for _, lambda := range []float64{1, 4, 8, 12, 20} {
+		pb, err := (MMCK{Lambda: lambda, Mu: 1, C: 8, K: 24}).BlockingProbability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pb < prev {
+			t.Fatalf("blocking decreased with load at λ=%v", lambda)
+		}
+		prev = pb
+	}
+}
+
+func TestMMCKBlockingMonotoneInCapacity(t *testing.T) {
+	prev := 1.0
+	for _, k := range []int{8, 12, 20, 40, 80} {
+		pb, err := (MMCK{Lambda: 7, Mu: 1, C: 8, K: k}).BlockingProbability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pb > prev {
+			t.Fatalf("blocking increased with capacity at K=%d", k)
+		}
+		prev = pb
+	}
+}
+
+func TestMMCKValidation(t *testing.T) {
+	bad := []MMCK{
+		{Lambda: 1, Mu: 1, C: 0, K: 5},
+		{Lambda: 1, Mu: 1, C: 4, K: 3},
+		{Lambda: 0, Mu: 1, C: 1, K: 1},
+		{Lambda: 1, Mu: 0, C: 1, K: 1},
+	}
+	for i, q := range bad {
+		if _, err := q.BlockingProbability(); err == nil {
+			t.Errorf("bad system %d accepted", i)
+		}
+	}
+}
+
+func TestMMCKLittleLawConsistency(t *testing.T) {
+	q := MMCK{Lambda: 12, Mu: 2, C: 4, K: 20}
+	l, err := q.MeanNumberInSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput, err := q.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-tput*w) > 1e-9 {
+		t.Fatalf("Little's law: L=%v, λ'W=%v", l, tput*w)
+	}
+	wq, err := q.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wq < 0 || wq > w {
+		t.Fatalf("wait %v outside [0, %v]", wq, w)
+	}
+}

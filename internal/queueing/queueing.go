@@ -1,0 +1,135 @@
+// Package queueing provides closed-form results from queueing theory
+// (M/M/1, M/M/c with the Erlang-C formula). The three-tier simulator's
+// thread pools are, at their core, multi-server queues; these formulas act
+// as an analytic oracle against which the discrete-event simulator is
+// validated in tests, so the synthetic data source substituting for the
+// paper's proprietary workload is itself verifiable.
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrUnstable is returned when the offered load meets or exceeds capacity
+// (ρ ≥ 1), where steady-state queue metrics are undefined.
+var ErrUnstable = errors.New("queueing: utilization >= 1, system is unstable")
+
+// MM1 describes a single-server queue with Poisson arrivals (rate λ) and
+// exponential service (rate μ).
+type MM1 struct {
+	Lambda, Mu float64
+}
+
+// Utilization returns ρ = λ/μ.
+func (q MM1) Utilization() float64 { return q.Lambda / q.Mu }
+
+// MeanResponseTime returns W = 1/(μ−λ), the mean time in system.
+func (q MM1) MeanResponseTime() (float64, error) {
+	if q.Utilization() >= 1 {
+		return 0, ErrUnstable
+	}
+	return 1 / (q.Mu - q.Lambda), nil
+}
+
+// MeanQueueLength returns L = ρ/(1−ρ), the mean number in system.
+func (q MM1) MeanQueueLength() (float64, error) {
+	rho := q.Utilization()
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return rho / (1 - rho), nil
+}
+
+// MMC describes a c-server queue with Poisson arrivals (rate λ) and
+// exponential service (rate μ per server).
+type MMC struct {
+	Lambda, Mu float64
+	C          int
+}
+
+// Utilization returns ρ = λ/(c·μ).
+func (q MMC) Utilization() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// ErlangC returns the probability that an arriving job must wait (all c
+// servers busy), computed with a numerically stable iterative form.
+func (q MMC) ErlangC() (float64, error) {
+	rho := q.Utilization()
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	if q.C < 1 {
+		return 0, errors.New("queueing: server count must be >= 1")
+	}
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	// Iteratively compute the Erlang-B blocking probability, then convert
+	// to Erlang C. B(0)=1; B(k)=a·B(k−1)/(k+a·B(k−1)).
+	b := 1.0
+	for k := 1; k <= q.C; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	c := b / (1 - rho*(1-b))
+	return c, nil
+}
+
+// MeanWait returns Wq, the mean time spent waiting for a server.
+func (q MMC) MeanWait() (float64, error) {
+	pc, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	return pc / (float64(q.C)*q.Mu - q.Lambda), nil
+}
+
+// MeanResponseTime returns W = Wq + 1/μ, the mean time in system.
+func (q MMC) MeanResponseTime() (float64, error) {
+	wq, err := q.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return wq + 1/q.Mu, nil
+}
+
+// MeanQueueLength returns L = λ·W by Little's law.
+func (q MMC) MeanQueueLength() (float64, error) {
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		return 0, err
+	}
+	return q.Lambda * w, nil
+}
+
+// ResponseTimePercentileApprox returns an approximate p-quantile (0<p<1)
+// of the M/M/c response-time distribution, using the standard
+// approximation that the conditional wait is exponential with rate
+// cμ−λ and mixing it with the exponential service time.
+func (q MMC) ResponseTimePercentileApprox(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, errors.New("queueing: percentile must be in (0,1)")
+	}
+	pc, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	// P(W > t) ≈ pc·exp(−(cμ−λ)t) + (1−pc)·exp(−μt) — a crude but
+	// monotone mixture; invert numerically by bisection.
+	tail := func(t float64) float64 {
+		return pc*math.Exp(-(float64(q.C)*q.Mu-q.Lambda)*t) + (1-pc)*math.Exp(-q.Mu*t)
+	}
+	lo, hi := 0.0, 1.0
+	for tail(hi) > 1-p {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, errors.New("queueing: percentile search diverged")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if tail(mid) > 1-p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

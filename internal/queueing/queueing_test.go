@@ -1,0 +1,170 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nnwc/internal/rng"
+)
+
+func TestMM1KnownValues(t *testing.T) {
+	q := MM1{Lambda: 5, Mu: 10}
+	if q.Utilization() != 0.5 {
+		t.Fatal("utilization wrong")
+	}
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-0.2) > 1e-12 {
+		t.Fatalf("W = %v, want 0.2", w)
+	}
+	l, err := q.MeanQueueLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-1) > 1e-12 {
+		t.Fatalf("L = %v, want 1", l)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	q := MM1{Lambda: 10, Mu: 10}
+	if _, err := q.MeanResponseTime(); err != ErrUnstable {
+		t.Fatal("rho=1 not rejected")
+	}
+	if _, err := q.MeanQueueLength(); err != ErrUnstable {
+		t.Fatal("rho=1 not rejected")
+	}
+}
+
+func TestMMCReducesToMM1(t *testing.T) {
+	// With c=1 the Erlang-C wait equals the M/M/1 wait.
+	c1 := MMC{Lambda: 3, Mu: 5, C: 1}
+	w1, err := c1.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := MM1{Lambda: 3, Mu: 5}
+	wm, err := m1.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w1-wm) > 1e-12 {
+		t.Fatalf("M/M/1 %v vs M/M/c(1) %v", wm, w1)
+	}
+}
+
+func TestErlangCKnownValue(t *testing.T) {
+	// Classic check: a = 2 Erlangs offered to c = 3 servers →
+	// C(3, 2) ≈ 0.44444 (Erlang C table value 4/9).
+	q := MMC{Lambda: 2, Mu: 1, C: 3}
+	pc, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pc-4.0/9.0) > 1e-9 {
+		t.Fatalf("Erlang C = %v, want %v", pc, 4.0/9.0)
+	}
+}
+
+func TestErlangCInUnitInterval(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		c := 1 + src.Intn(32)
+		mu := 0.5 + src.Float64()*5
+		lambda := src.Float64() * float64(c) * mu * 0.95
+		if lambda <= 0 {
+			return true
+		}
+		pc, err := MMC{Lambda: lambda, Mu: mu, C: c}.ErlangC()
+		if err != nil {
+			return false
+		}
+		return pc >= 0 && pc <= 1
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMCUnstableRejected(t *testing.T) {
+	q := MMC{Lambda: 100, Mu: 1, C: 4}
+	if _, err := q.ErlangC(); err != ErrUnstable {
+		t.Fatal("overloaded M/M/c accepted")
+	}
+}
+
+func TestMMCBadServerCount(t *testing.T) {
+	if _, err := (MMC{Lambda: 1, Mu: 10, C: 0}).ErlangC(); err == nil {
+		t.Fatal("c=0 accepted")
+	}
+}
+
+func TestMoreServersReduceWait(t *testing.T) {
+	prev := math.Inf(1)
+	for c := 2; c <= 12; c++ {
+		w, err := (MMC{Lambda: 1.5, Mu: 1, C: c}).MeanWait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w >= prev {
+			t.Fatalf("wait did not decrease at c=%d: %v >= %v", c, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	// L = λ·W must hold by construction; verify the API is consistent.
+	q := MMC{Lambda: 7, Mu: 2, C: 5}
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := q.MeanQueueLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-7*w) > 1e-12 {
+		t.Fatalf("Little's law broken: L=%v, λW=%v", l, 7*w)
+	}
+}
+
+func TestResponseTimePercentileMonotone(t *testing.T) {
+	q := MMC{Lambda: 10, Mu: 1, C: 12}
+	prev := 0.0
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		v, err := q.ResponseTimePercentileApprox(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Fatalf("percentile %v not monotone: %v <= %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPercentileBadInput(t *testing.T) {
+	q := MMC{Lambda: 1, Mu: 1, C: 2}
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		if _, err := q.ResponseTimePercentileApprox(p); err == nil {
+			t.Fatalf("percentile %v accepted", p)
+		}
+	}
+}
+
+func TestWaitGrowsWithLoad(t *testing.T) {
+	prev := 0.0
+	for _, lambda := range []float64{2, 6, 10, 13, 15} {
+		w, err := (MMC{Lambda: lambda, Mu: 1, C: 16}).MeanWait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < prev {
+			t.Fatalf("wait decreased with load at λ=%v", lambda)
+		}
+		prev = w
+	}
+}

@@ -1,0 +1,225 @@
+// Package recommend implements the configuration recommender the paper
+// sketches at the end of §5.3: "we can further build a system that
+// recommends the best configuration according to a scoring function".
+// A trained model stands in for the real system, so candidate
+// configurations can be scored in microseconds instead of re-running the
+// workload, and the search can cover the whole space instead of the few
+// heuristic probes a performance engineer has time for.
+package recommend
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"nnwc/internal/core"
+	"nnwc/internal/rng"
+)
+
+// Scorer maps a predicted indicator vector to a scalar score; higher is
+// better.
+type Scorer func(indicators []float64) float64
+
+// WeightedScore builds a Scorer as a linear combination Σ wⱼ·yⱼ. Use
+// negative weights for indicators to minimize (response times) and
+// positive for those to maximize (throughput).
+func WeightedScore(weights []float64) Scorer {
+	return func(ind []float64) float64 {
+		var s float64
+		for j, w := range weights {
+			if j < len(ind) {
+				s += w * ind[j]
+			}
+		}
+		return s
+	}
+}
+
+// SLAScore builds a Scorer that maximizes indicator `maximize` (typically
+// throughput) subject to upper bounds on the remaining indicators: any
+// violated bound incurs a steep penalty proportional to the violation, so
+// infeasible configurations sort below all feasible ones. A bound of
+// +Inf (or NaN) disables the constraint for that indicator.
+func SLAScore(maximize int, bounds []float64) Scorer {
+	return func(ind []float64) float64 {
+		score := ind[maximize]
+		var penalty float64
+		for j, b := range bounds {
+			if j == maximize || j >= len(ind) || math.IsInf(b, 1) || math.IsNaN(b) {
+				continue
+			}
+			if ind[j] > b {
+				penalty += 1 + (ind[j]-b)/b
+			}
+		}
+		if penalty > 0 {
+			return -penalty * 1e6
+		}
+		return score
+	}
+}
+
+// Space bounds the search: per-feature [Lo, Hi] ranges and an optional
+// integer constraint (thread counts are integers; injection rate is not).
+type Space struct {
+	Lo, Hi  []float64
+	Integer []bool // nil means all continuous
+}
+
+// Validate reports specification errors.
+func (s Space) Validate() error {
+	if len(s.Lo) == 0 || len(s.Lo) != len(s.Hi) {
+		return errors.New("recommend: Lo and Hi must be non-empty and equal length")
+	}
+	for i := range s.Lo {
+		if s.Hi[i] < s.Lo[i] {
+			return fmt.Errorf("recommend: feature %d has Hi < Lo", i)
+		}
+	}
+	if s.Integer != nil && len(s.Integer) != len(s.Lo) {
+		return errors.New("recommend: Integer mask length mismatch")
+	}
+	return nil
+}
+
+func (s Space) round(x []float64) {
+	if s.Integer == nil {
+		return
+	}
+	for i, isInt := range s.Integer {
+		if isInt {
+			x[i] = math.Round(x[i])
+		}
+	}
+}
+
+// Candidate is one scored configuration.
+type Candidate struct {
+	X     []float64
+	Y     []float64
+	Score float64
+}
+
+// Result ranks the best candidates found.
+type Result struct {
+	Best Candidate
+	// Top holds the best candidates in descending score order (up to the
+	// requested keep count).
+	Top []Candidate
+}
+
+// Options tunes the search.
+type Options struct {
+	// GridPoints per dimension for the coarse sweep (default 8).
+	GridPoints int
+	// RandomProbes after the grid phase (default 512).
+	RandomProbes int
+	// RefineRounds of local perturbation around the incumbent (default 3).
+	RefineRounds int
+	// Keep is how many top candidates to report (default 10).
+	Keep int
+	// Seed drives the random probes.
+	Seed uint64
+}
+
+func (o Options) defaults() Options {
+	if o.GridPoints <= 0 {
+		o.GridPoints = 8
+	}
+	if o.RandomProbes <= 0 {
+		o.RandomProbes = 512
+	}
+	if o.RefineRounds <= 0 {
+		o.RefineRounds = 3
+	}
+	if o.Keep <= 0 {
+		o.Keep = 10
+	}
+	return o
+}
+
+// Search explores the space with a coarse grid, random probes, and local
+// refinement, scoring every candidate through the model.
+func Search(p core.Predictor, space Space, score Scorer, opt Options) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if score == nil {
+		return nil, errors.New("recommend: a scoring function is required")
+	}
+	opt = opt.defaults()
+	n := len(space.Lo)
+	src := rng.New(opt.Seed)
+
+	var all []Candidate
+	eval := func(x []float64) {
+		space.round(x)
+		y := p.Predict(x)
+		all = append(all, Candidate{X: append([]float64(nil), x...), Y: y, Score: score(y)})
+	}
+
+	// Phase 1: coarse grid, enumerated without recursion via counters.
+	counts := make([]int, n)
+	x := make([]float64, n)
+	var gridTotal uint64 = 1
+	for i := 0; i < n; i++ {
+		gridTotal *= uint64(opt.GridPoints)
+		if gridTotal > 1<<20 {
+			return nil, fmt.Errorf("recommend: grid of %d^%d points is too large; lower GridPoints", opt.GridPoints, n)
+		}
+	}
+	for {
+		for i := 0; i < n; i++ {
+			frac := 0.5
+			if opt.GridPoints > 1 {
+				frac = float64(counts[i]) / float64(opt.GridPoints-1)
+			}
+			x[i] = space.Lo[i] + frac*(space.Hi[i]-space.Lo[i])
+		}
+		eval(x)
+		// Increment the mixed-radix counter.
+		i := 0
+		for ; i < n; i++ {
+			counts[i]++
+			if counts[i] < opt.GridPoints {
+				break
+			}
+			counts[i] = 0
+		}
+		if i == n {
+			break
+		}
+	}
+
+	// Phase 2: random probes.
+	for k := 0; k < opt.RandomProbes; k++ {
+		for i := 0; i < n; i++ {
+			x[i] = src.Uniform(space.Lo[i], space.Hi[i])
+		}
+		eval(x)
+	}
+
+	// Phase 3: local refinement around the incumbent.
+	for round := 0; round < opt.RefineRounds; round++ {
+		sort.Slice(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+		incumbent := all[0]
+		radius := math.Pow(0.5, float64(round+1))
+		for k := 0; k < opt.RandomProbes/4; k++ {
+			for i := 0; i < n; i++ {
+				span := (space.Hi[i] - space.Lo[i]) * radius
+				v := incumbent.X[i] + src.Uniform(-span, span)
+				x[i] = math.Min(math.Max(v, space.Lo[i]), space.Hi[i])
+			}
+			eval(x)
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	keep := opt.Keep
+	if keep > len(all) {
+		keep = len(all)
+	}
+	res := &Result{Best: all[0], Top: all[:keep]}
+	return res, nil
+}

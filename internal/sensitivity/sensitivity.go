@@ -1,0 +1,159 @@
+// Package sensitivity partially recovers the analytical power the paper
+// concedes in §5.3 ("it is hard to perform a quantitative analysis for a
+// complete understanding of the individual contribution of a particular
+// feature to the output ... we are trading off the analytical power of the
+// model for generality"): permutation feature importance quantifies how
+// much each configuration parameter contributes to each predicted
+// indicator, and one-dimensional partial-dependence profiles expose the
+// marginal shape of that contribution — both model-agnostic, so they work
+// on the MLP without giving up its generality.
+package sensitivity
+
+import (
+	"errors"
+	"fmt"
+
+	"nnwc/internal/core"
+	"nnwc/internal/rng"
+	"nnwc/internal/stats"
+	"nnwc/internal/workload"
+)
+
+// Importance holds the permutation-importance matrix: Scores[i][j] is the
+// increase in RMSE of indicator j when feature i is permuted, normalized
+// by the unpermuted RMSE (0 = irrelevant; 1 = permuting doubles the error).
+type Importance struct {
+	FeatureNames []string
+	TargetNames  []string
+	Scores       [][]float64
+}
+
+// FeatureTotal sums feature i's importance across indicators.
+func (im *Importance) FeatureTotal(i int) float64 {
+	return stats.Mean(im.Scores[i]) * float64(len(im.Scores[i]))
+}
+
+// Options tunes the estimators.
+type Options struct {
+	// Repeats averages the permutation over this many shuffles (default 5).
+	Repeats int
+	// Seed drives the permutations.
+	Seed uint64
+}
+
+func (o Options) defaults() Options {
+	if o.Repeats <= 0 {
+		o.Repeats = 5
+	}
+	return o
+}
+
+// PermutationImportance scores every (feature, indicator) pair on the
+// given dataset.
+func PermutationImportance(p core.Predictor, ds *workload.Dataset, opt Options) (*Importance, error) {
+	if ds == nil || ds.Len() < 2 {
+		return nil, errors.New("sensitivity: need at least 2 samples")
+	}
+	opt = opt.defaults()
+	n := ds.NumFeatures()
+	m := ds.NumTargets()
+	src := rng.New(opt.Seed)
+
+	// Baseline RMSE per indicator.
+	base := make([]float64, m)
+	actual := make([][]float64, m)
+	pred := make([][]float64, m)
+	for _, s := range ds.Samples {
+		out := p.Predict(s.X)
+		if len(out) != m {
+			return nil, errors.New("sensitivity: predictor output does not match dataset targets")
+		}
+		for j := 0; j < m; j++ {
+			actual[j] = append(actual[j], s.Y[j])
+			pred[j] = append(pred[j], out[j])
+		}
+	}
+	for j := 0; j < m; j++ {
+		base[j] = stats.RMSE(actual[j], pred[j])
+		if base[j] == 0 {
+			base[j] = 1e-12 // perfect fit: any degradation is "infinite"; cap via epsilon
+		}
+	}
+
+	im := &Importance{
+		FeatureNames: append([]string(nil), ds.FeatureNames...),
+		TargetNames:  append([]string(nil), ds.TargetNames...),
+		Scores:       make([][]float64, n),
+	}
+	xbuf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		im.Scores[i] = make([]float64, m)
+		col := ds.FeatureColumn(i)
+		for rep := 0; rep < opt.Repeats; rep++ {
+			perm := src.Perm(len(col))
+			permPred := make([][]float64, m)
+			for r, s := range ds.Samples {
+				copy(xbuf, s.X)
+				xbuf[i] = col[perm[r]]
+				out := p.Predict(xbuf)
+				for j := 0; j < m; j++ {
+					permPred[j] = append(permPred[j], out[j])
+				}
+			}
+			for j := 0; j < m; j++ {
+				rmse := stats.RMSE(actual[j], permPred[j])
+				im.Scores[i][j] += (rmse - base[j]) / base[j] / float64(opt.Repeats)
+			}
+		}
+		for j := 0; j < m; j++ {
+			if im.Scores[i][j] < 0 {
+				im.Scores[i][j] = 0 // permutation noise can dip below zero
+			}
+		}
+	}
+	return im, nil
+}
+
+// Profile is a one-dimensional partial-dependence curve: the model's mean
+// prediction for one indicator as one feature sweeps its range with all
+// other features held at the dataset's observed rows.
+type Profile struct {
+	Feature string
+	Target  string
+	X       []float64
+	Y       []float64
+}
+
+// PartialDependence computes the profile of feature i against indicator j
+// over the given grid values.
+func PartialDependence(p core.Predictor, ds *workload.Dataset, feature, target int, grid []float64) (*Profile, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("sensitivity: empty dataset")
+	}
+	if feature < 0 || feature >= ds.NumFeatures() {
+		return nil, fmt.Errorf("sensitivity: feature index %d out of range", feature)
+	}
+	if target < 0 || target >= ds.NumTargets() {
+		return nil, fmt.Errorf("sensitivity: target index %d out of range", target)
+	}
+	if len(grid) == 0 {
+		return nil, errors.New("sensitivity: empty grid")
+	}
+	prof := &Profile{
+		Feature: ds.FeatureNames[feature],
+		Target:  ds.TargetNames[target],
+		X:       append([]float64(nil), grid...),
+		Y:       make([]float64, len(grid)),
+	}
+	xbuf := make([]float64, ds.NumFeatures())
+	for gi, gv := range grid {
+		var sum float64
+		for _, s := range ds.Samples {
+			copy(xbuf, s.X)
+			xbuf[feature] = gv
+			sum += p.Predict(xbuf)[target]
+		}
+		prof.Y[gi] = sum / float64(ds.Len())
+	}
+	return prof, nil
+}

@@ -1,0 +1,245 @@
+// Package stats provides the descriptive statistics and the error metrics
+// the paper's methodology relies on: mean/standard deviation for
+// standardization (§3.1), and the harmonic mean of relative errors used to
+// score a validation fold (§3.3), alongside the usual regression metrics
+// (MAE, MAPE, RMSE, R²) used for baseline comparisons.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by metrics that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n), or 0 for
+// fewer than one element.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SampleVariance returns the sample variance of xs (dividing by n−1), or 0
+// for fewer than two elements.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs without modifying it. It panics on empty
+// input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// HarmonicMean returns the harmonic mean of xs. Inputs must be strictly
+// positive; non-positive values make the harmonic mean undefined and cause
+// an ErrEmpty-style error.
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: harmonic mean requires positive values")
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s, nil
+}
+
+// RelativeErrors returns |pred−actual| / |actual| element-wise. Entries
+// where actual is zero are skipped (they would be infinite); the returned
+// slice may therefore be shorter than the input.
+func RelativeErrors(actual, pred []float64) []float64 {
+	out := make([]float64, 0, len(actual))
+	for i, a := range actual {
+		if a == 0 {
+			continue
+		}
+		out = append(out, math.Abs(pred[i]-a)/math.Abs(a))
+	}
+	return out
+}
+
+// HarmonicMeanRelativeError is the paper's §3.3 validation metric: the
+// harmonic mean of |error|/|actual| over a set of predictions. Zero-valued
+// actuals are skipped; exact predictions (relative error 0) drive the
+// harmonic mean to 0, which we honor by returning 0 when any error is 0.
+func HarmonicMeanRelativeError(actual, pred []float64) (float64, error) {
+	if len(actual) != len(pred) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	rel := RelativeErrors(actual, pred)
+	if len(rel) == 0 {
+		return 0, ErrEmpty
+	}
+	for _, r := range rel {
+		if r == 0 {
+			return 0, nil
+		}
+	}
+	return HarmonicMean(rel)
+}
+
+// MAE returns the mean absolute error between actual and pred.
+func MAE(actual, pred []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	var s float64
+	for i, a := range actual {
+		s += math.Abs(pred[i] - a)
+	}
+	return s / float64(len(actual))
+}
+
+// MAPE returns the mean absolute percentage error (as a fraction, not
+// percent). Zero actuals are skipped.
+func MAPE(actual, pred []float64) float64 {
+	rel := RelativeErrors(actual, pred)
+	return Mean(rel)
+}
+
+// RMSE returns the root-mean-square error between actual and pred.
+func RMSE(actual, pred []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	var s float64
+	for i, a := range actual {
+		d := pred[i] - a
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(actual)))
+}
+
+// R2 returns the coefficient of determination of pred against actual.
+// A constant actual series yields R² = 0 by convention.
+func R2(actual, pred []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	mean := Mean(actual)
+	var ssRes, ssTot float64
+	for i, a := range actual {
+		d := pred[i] - a
+		ssRes += d * d
+		t := a - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and
+// ys, or 0 when either series is constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Summary bundles the descriptive statistics of one series.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+}
+
+// Summarize computes a Summary of xs. It panics on empty input.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    Min(xs),
+		Median: Median(xs),
+		Max:    Max(xs),
+	}
+}

@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nnwc/internal/rng"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !close(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if !close(Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 4) {
+		t.Fatal("population variance wrong")
+	}
+	if Variance(nil) != 0 {
+		t.Fatal("variance of empty should be 0")
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	// Sample variance divides by n-1.
+	if !close(SampleVariance([]float64{1, 2, 3}), 1) {
+		t.Fatal("sample variance wrong")
+	}
+	if SampleVariance([]float64{5}) != 0 {
+		t.Fatal("sample variance of singleton should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !close(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Fatal("stddev wrong")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatal("min/max wrong")
+	}
+	if !close(Median(xs), 3) {
+		t.Fatal("odd median wrong")
+	}
+	if !close(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("even median wrong")
+	}
+	// Median must not reorder the input.
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestHarmonicMean(t *testing.T) {
+	hm, err := HarmonicMean([]float64{1, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(hm, 2) {
+		t.Fatalf("harmonic mean = %v, want 2", hm)
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Fatal("empty harmonic mean should error")
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Fatal("harmonic mean with zero should error")
+	}
+	if _, err := HarmonicMean([]float64{1, -2}); err == nil {
+		t.Fatal("harmonic mean with negative should error")
+	}
+}
+
+func TestHarmonicLeqArithmetic(t *testing.T) {
+	// AM-HM inequality on positive values.
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(10)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.01 + src.Float64()*10
+		}
+		hm, err := HarmonicMean(xs)
+		if err != nil {
+			return false
+		}
+		return hm <= Mean(xs)+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeErrors(t *testing.T) {
+	rel := RelativeErrors([]float64{10, 0, 4}, []float64{11, 5, 3})
+	if len(rel) != 2 {
+		t.Fatalf("zero actual should be skipped, got %d entries", len(rel))
+	}
+	if !close(rel[0], 0.1) || !close(rel[1], 0.25) {
+		t.Fatalf("relative errors %v", rel)
+	}
+}
+
+func TestHarmonicMeanRelativeError(t *testing.T) {
+	h, err := HarmonicMeanRelativeError([]float64{100, 100}, []float64{110, 105})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// errors 0.10 and 0.05 → HM = 2/(10+20) = 0.0667
+	if !close(h, 2.0/30.0) {
+		t.Fatalf("HMRE = %v", h)
+	}
+}
+
+func TestHarmonicMeanRelativeErrorPerfect(t *testing.T) {
+	h, err := HarmonicMeanRelativeError([]float64{5, 6}, []float64{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("one perfect prediction should yield 0, got %v", h)
+	}
+}
+
+func TestHarmonicMeanRelativeErrorMismatch(t *testing.T) {
+	if _, err := HarmonicMeanRelativeError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestHMRENotAboveMAPE(t *testing.T) {
+	// HM ≤ AM, so the paper's metric never exceeds MAPE on the same data.
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(20)
+		actual := make([]float64, n)
+		pred := make([]float64, n)
+		for i := range actual {
+			actual[i] = 1 + src.Float64()*100
+			pred[i] = actual[i] * (1 + src.Uniform(0.01, 0.5))
+		}
+		h, err := HarmonicMeanRelativeError(actual, pred)
+		if err != nil {
+			return false
+		}
+		return h <= MAPE(actual, pred)+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAEAndRMSE(t *testing.T) {
+	actual := []float64{1, 2, 3}
+	pred := []float64{2, 2, 5}
+	if !close(MAE(actual, pred), 1) {
+		t.Fatal("MAE wrong")
+	}
+	if !close(RMSE(actual, pred), math.Sqrt(5.0/3.0)) {
+		t.Fatal("RMSE wrong")
+	}
+	if MAE(nil, nil) != 0 || RMSE(nil, nil) != 0 {
+		t.Fatal("empty metrics should be 0")
+	}
+}
+
+func TestR2(t *testing.T) {
+	actual := []float64{1, 2, 3, 4}
+	if !close(R2(actual, actual), 1) {
+		t.Fatal("perfect prediction should give R²=1")
+	}
+	meanPred := []float64{2.5, 2.5, 2.5, 2.5}
+	if !close(R2(actual, meanPred), 0) {
+		t.Fatal("mean prediction should give R²=0")
+	}
+	if R2([]float64{5, 5}, []float64{4, 6}) != 0 {
+		t.Fatal("constant actual should give R²=0 by convention")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if !close(Correlation(xs, ys), 1) {
+		t.Fatal("perfect positive correlation expected")
+	}
+	neg := []float64{8, 6, 4, 2}
+	if !close(Correlation(xs, neg), -1) {
+		t.Fatal("perfect negative correlation expected")
+	}
+	if Correlation(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("constant series should give 0")
+	}
+	if Correlation(xs, []float64{1}) != 0 {
+		t.Fatal("mismatched lengths should give 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func BenchmarkHMRE(b *testing.B) {
+	actual := make([]float64, 100)
+	pred := make([]float64, 100)
+	for i := range actual {
+		actual[i] = float64(i + 1)
+		pred[i] = float64(i+1) * 1.03
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HarmonicMeanRelativeError(actual, pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

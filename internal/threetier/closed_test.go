@@ -1,0 +1,146 @@
+package threetier
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClosedLoopResponseTimeLaw checks the interactive response-time law
+// X = N / (Z + R): a closed system's measured throughput, population,
+// think time, and response time must be mutually consistent (an
+// operational law — it holds for any well-measured closed system).
+func TestClosedLoopResponseTimeLaw(t *testing.T) {
+	sys := testParams()
+	sys.MeasureTime = 60
+	cfg := Config{
+		Mode: ClosedLoop, Users: 200, ThinkTime: 0.5,
+		MfgThreads: 16, WebThreads: 18, DefaultThreads: 8,
+	}
+	m, err := Run(cfg, sys, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean response time across classes, weighted by completions.
+	var rtSum float64
+	var n int
+	for c := 0; c < NumClasses; c++ {
+		rtSum += m.ResponseTimes[c] * float64(m.Completed[c])
+		n += m.Completed[c]
+	}
+	if n == 0 {
+		t.Fatal("no completions")
+	}
+	meanRT := rtSum / float64(n)
+	x := m.OfferedTPS // submissions per second == throughput in steady state
+	want := float64(cfg.Users) / (cfg.ThinkTime + meanRT)
+	if math.Abs(x-want)/want > 0.08 {
+		t.Fatalf("response-time law violated: X=%v, N/(Z+R)=%v", x, want)
+	}
+}
+
+// TestClosedLoopThroughputSaturates: doubling the population beyond the
+// system's capacity must not double the throughput — the closed driver
+// self-limits, unlike the open one.
+func TestClosedLoopThroughputSaturates(t *testing.T) {
+	sys := testParams()
+	run := func(users int) float64 {
+		cfg := Config{
+			Mode: ClosedLoop, Users: users, ThinkTime: 0.2,
+			MfgThreads: 8, WebThreads: 8, DefaultThreads: 4,
+		}
+		m, err := Run(cfg, sys, 22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done int
+		for c := 0; c < NumClasses; c++ {
+			done += m.Completed[c]
+		}
+		return float64(done) / sys.MeasureTime
+	}
+	// Completion throughput, not submissions: rejected closed-loop users
+	// retry after thinking, so the raw submission rate keeps climbing
+	// with the population while completions cap at the bottleneck.
+	x1 := run(150)
+	x2 := run(600)
+	if x2 > 1.4*x1 {
+		t.Fatalf("throughput did not saturate: %v users→%v tps, %v users→%v tps", 150, x1, 600, x2)
+	}
+	if x2 < x1*0.7 {
+		t.Fatalf("more users should not reduce completion rate this much: %v vs %v", x2, x1)
+	}
+}
+
+// TestClosedLoopLightLoadMatchesThinkRate: with few users and an idle
+// system, throughput ≈ N/(Z+R₀) with R₀ the base service time.
+func TestClosedLoopLightLoad(t *testing.T) {
+	sys := testParams()
+	cfg := Config{
+		Mode: ClosedLoop, Users: 10, ThinkTime: 1.0,
+		MfgThreads: 16, WebThreads: 16, DefaultThreads: 8,
+	}
+	m, err := Run(cfg, sys, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R is tens of milliseconds here, so X ≈ N/Z = 10.
+	if math.Abs(m.OfferedTPS-10) > 1.5 {
+		t.Fatalf("light-load closed throughput %v, want ≈10", m.OfferedTPS)
+	}
+}
+
+func TestClosedLoopValidation(t *testing.T) {
+	bad := []Config{
+		{Mode: ClosedLoop, Users: 0, ThinkTime: 1, MfgThreads: 1, WebThreads: 1, DefaultThreads: 1},
+		{Mode: ClosedLoop, Users: 5, ThinkTime: 0, MfgThreads: 1, WebThreads: 1, DefaultThreads: 1},
+		{Mode: DriverMode(9), InjectionRate: 100, MfgThreads: 1, WebThreads: 1, DefaultThreads: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad closed config %d accepted", i)
+		}
+	}
+	good := Config{Mode: ClosedLoop, Users: 5, ThinkTime: 0.5, MfgThreads: 1, WebThreads: 1, DefaultThreads: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if OpenLoop.String() != "open" || ClosedLoop.String() != "closed" {
+		t.Fatal("mode strings wrong")
+	}
+	if DriverMode(9).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}
+
+// TestOpenVsClosedUnderOverload: at matched demand the open system rejects
+// work while the closed one queues users; both throughputs end up capped
+// near the bottleneck capacity.
+func TestOpenVsClosedUnderOverload(t *testing.T) {
+	sys := testParams()
+	open := Config{InjectionRate: 800, MfgThreads: 8, WebThreads: 8, DefaultThreads: 4}
+	closed := Config{Mode: ClosedLoop, Users: 800, ThinkTime: 0.5, MfgThreads: 8, WebThreads: 8, DefaultThreads: 4}
+	mo, err := Run(open, sys, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Run(closed, sys, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejOpen, doneOpen, doneClosed int
+	for c := 0; c < NumClasses; c++ {
+		rejOpen += mo.Rejected[c]
+		doneOpen += mo.Completed[c]
+		doneClosed += mc.Completed[c]
+	}
+	if rejOpen == 0 {
+		t.Fatal("open overload should reject")
+	}
+	// Note the closed driver's submission rate can exceed the open one's:
+	// rejected users think and retry, a retry storm. Completions, though,
+	// are capped by the same bottleneck in both modes.
+	ratio := float64(doneClosed) / float64(doneOpen)
+	if ratio > 1.5 || ratio < 0.3 {
+		t.Fatalf("open vs closed completion counts wildly different: %d vs %d", doneOpen, doneClosed)
+	}
+}

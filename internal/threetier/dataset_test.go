@@ -1,0 +1,130 @@
+package threetier
+
+import (
+	"testing"
+)
+
+func tinySweep() SweepSpec {
+	return SweepSpec{
+		InjectionRates: []float64{300, 400},
+		MfgThreads:     []int{8},
+		WebThreads:     []int{12, 16},
+		DefaultThreads: []int{4, 8},
+		Replicates:     1,
+	}
+}
+
+func TestSweepSizeAndConfigs(t *testing.T) {
+	spec := tinySweep()
+	if spec.Size() != 8 {
+		t.Fatalf("size %d", spec.Size())
+	}
+	cfgs := spec.Configs()
+	if len(cfgs) != 8 {
+		t.Fatalf("%d configs", len(cfgs))
+	}
+	// Deterministic order: two calls agree.
+	again := spec.Configs()
+	for i := range cfgs {
+		if cfgs[i] != again[i] {
+			t.Fatal("Configs order not deterministic")
+		}
+	}
+	seen := map[Config]bool{}
+	for _, c := range cfgs {
+		if seen[c] {
+			t.Fatalf("duplicate config %+v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestCollectSchemaAndDeterminism(t *testing.T) {
+	sys := testParams()
+	sys.MeasureTime = 8
+	ds, err := Collect(tinySweep(), sys, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 8 {
+		t.Fatalf("%d samples", ds.Len())
+	}
+	if ds.NumFeatures() != 4 || ds.NumTargets() != 5 {
+		t.Fatal("schema wrong")
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic end to end.
+	again, err := Collect(tinySweep(), sys, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Samples {
+		for j := range ds.Samples[i].Y {
+			if ds.Samples[i].Y[j] != again.Samples[i].Y[j] {
+				t.Fatal("Collect not deterministic")
+			}
+		}
+	}
+	// Different seed differs.
+	other, err := Collect(tinySweep(), sys, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ds.Samples {
+		for j := range ds.Samples[i].Y {
+			if ds.Samples[i].Y[j] != other.Samples[i].Y[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical datasets")
+	}
+}
+
+func TestCollectReplicatesReduceNoise(t *testing.T) {
+	// This is a statistical smoke test: averaged replicates should not
+	// produce wildly different values than a single run, and the sample
+	// count stays the same (replicates average, not append).
+	sys := testParams()
+	sys.MeasureTime = 6
+	spec := tinySweep()
+	spec.Replicates = 3
+	ds, err := Collect(spec, sys, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != spec.Size() {
+		t.Fatalf("replicates changed sample count: %d", ds.Len())
+	}
+	for _, s := range ds.Samples {
+		for j, v := range s.Y {
+			if v < 0 && j < 4 {
+				t.Fatalf("negative response time %v", v)
+			}
+		}
+	}
+}
+
+func TestCollectRejectsBadConfig(t *testing.T) {
+	spec := tinySweep()
+	spec.MfgThreads = []int{0}
+	if _, err := Collect(spec, testParams(), 1); err == nil {
+		t.Fatal("invalid sweep accepted")
+	}
+}
+
+func TestDefaultSweepSane(t *testing.T) {
+	spec := DefaultSweep()
+	if spec.Size() < 100 {
+		t.Fatalf("default sweep suspiciously small: %d", spec.Size())
+	}
+	for _, c := range spec.Configs() {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("default sweep contains invalid config: %v", err)
+		}
+	}
+}

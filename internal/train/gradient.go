@@ -1,0 +1,144 @@
+// Package train implements gradient-descent back-propagation training for
+// the MLPs in package nn — "by far the most popular" method per the
+// paper's §2.2 — along with several optimizers (online/batch SGD,
+// momentum, RPROP, Adam), epoch management, and the early-stopping
+// ("termination threshold") control the paper uses in §3.3 to keep the
+// model loosely fitted and flexible on unseen samples.
+package train
+
+import (
+	"fmt"
+
+	"nnwc/internal/nn"
+)
+
+// Gradients holds ∂E/∂w and ∂E/∂b for every layer of a network, in the
+// same shapes as the network's parameters.
+type Gradients struct {
+	DW [][][]float64 // layer → output → input
+	DB [][]float64   // layer → output
+}
+
+// NewGradients allocates zeroed gradients shaped like net.
+func NewGradients(net *nn.Network) *Gradients {
+	g := &Gradients{
+		DW: make([][][]float64, len(net.Layers)),
+		DB: make([][]float64, len(net.Layers)),
+	}
+	for i, l := range net.Layers {
+		g.DW[i] = make([][]float64, l.Outputs)
+		for o := range g.DW[i] {
+			g.DW[i][o] = make([]float64, l.Inputs)
+		}
+		g.DB[i] = make([]float64, l.Outputs)
+	}
+	return g
+}
+
+// Zero resets all gradient entries.
+func (g *Gradients) Zero() {
+	for i := range g.DW {
+		for o := range g.DW[i] {
+			for j := range g.DW[i][o] {
+				g.DW[i][o][j] = 0
+			}
+		}
+		for o := range g.DB[i] {
+			g.DB[i][o] = 0
+		}
+	}
+}
+
+// AddScaled accumulates s*other into g.
+func (g *Gradients) AddScaled(s float64, other *Gradients) {
+	for i := range g.DW {
+		for o := range g.DW[i] {
+			for j := range g.DW[i][o] {
+				g.DW[i][o][j] += s * other.DW[i][o][j]
+			}
+		}
+		for o := range g.DB[i] {
+			g.DB[i][o] += s * other.DB[i][o]
+		}
+	}
+}
+
+// Scale multiplies every gradient entry by s.
+func (g *Gradients) Scale(s float64) {
+	for i := range g.DW {
+		for o := range g.DW[i] {
+			for j := range g.DW[i][o] {
+				g.DW[i][o][j] *= s
+			}
+		}
+		for o := range g.DB[i] {
+			g.DB[i][o] *= s
+		}
+	}
+}
+
+// Backprop computes the squared-error loss E = ½‖ŷ − y‖² for one sample
+// and writes the exact gradient of E with respect to every weight and bias
+// into out (overwriting it). It returns the loss.
+func Backprop(net *nn.Network, x, y []float64, out *Gradients) float64 {
+	if len(y) != net.OutputDim() {
+		panic(fmt.Sprintf("train: target has %d entries, network outputs %d", len(y), net.OutputDim()))
+	}
+	acts, pres := net.ForwardTrace(x)
+	pred := acts[len(acts)-1]
+
+	// Output-layer delta: (ŷ − y) ⊙ f'(pre).
+	last := len(net.Layers) - 1
+	delta := make([]float64, net.Layers[last].Outputs)
+	var loss float64
+	for i := range delta {
+		diff := pred[i] - y[i]
+		loss += 0.5 * diff * diff
+		delta[i] = diff * net.Layers[last].Act.Deriv(pres[last][i], pred[i])
+	}
+
+	// Walk the layers backwards, filling gradients and propagating deltas.
+	for li := last; li >= 0; li-- {
+		layer := net.Layers[li]
+		in := acts[li]
+		for o := 0; o < layer.Outputs; o++ {
+			d := delta[o]
+			out.DB[li][o] = d
+			row := out.DW[li][o]
+			for j, xv := range in {
+				row[j] = d * xv
+			}
+		}
+		if li == 0 {
+			break
+		}
+		prev := net.Layers[li-1]
+		nextDelta := make([]float64, prev.Outputs)
+		for j := 0; j < prev.Outputs; j++ {
+			var s float64
+			for o := 0; o < layer.Outputs; o++ {
+				s += delta[o] * layer.W[o][j]
+			}
+			nextDelta[j] = s * prev.Act.Deriv(pres[li-1][j], acts[li][j])
+		}
+		delta = nextDelta
+	}
+	return loss
+}
+
+// Loss returns the mean squared-error loss of net over the given rows,
+// using the same ½‖ŷ−y‖² per-sample convention as Backprop.
+func Loss(net *nn.Network, xs, ys [][]float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var total float64
+	for i, x := range xs {
+		pred := net.Forward(x)
+		for j, p := range pred {
+			d := p - ys[i][j]
+			total += 0.5 * d * d
+		}
+	}
+	return total / float64(len(xs))
+}

@@ -1,0 +1,150 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"nnwc/internal/nn"
+	"nnwc/internal/rng"
+)
+
+// numericalGradient perturbs one parameter and measures the loss change.
+func numericalGradient(net *nn.Network, x, y []float64, get func() *float64) float64 {
+	const h = 1e-6
+	p := get()
+	orig := *p
+	*p = orig + h
+	up := sampleLoss(net, x, y)
+	*p = orig - h
+	down := sampleLoss(net, x, y)
+	*p = orig
+	return (up - down) / (2 * h)
+}
+
+func sampleLoss(net *nn.Network, x, y []float64) float64 {
+	pred := net.Forward(x)
+	var loss float64
+	for j, p := range pred {
+		d := p - y[j]
+		loss += 0.5 * d * d
+	}
+	return loss
+}
+
+// TestBackpropMatchesNumericalGradient is the keystone correctness test:
+// the analytic gradient of every weight and bias in a multi-hidden-layer
+// network must match central-difference estimates.
+func TestBackpropMatchesNumericalGradient(t *testing.T) {
+	activations := []nn.Activation{
+		nn.Logistic{Alpha: 1},
+		nn.Logistic{Alpha: 2.5},
+		nn.Tanh{},
+		nn.LogCompress{},
+	}
+	for _, act := range activations {
+		src := rng.New(42)
+		net := nn.NewNetwork([]int{3, 5, 4, 2}, act, nn.Identity{})
+		nn.XavierInit{}.Init(net, src)
+		x := []float64{0.5, -1.2, 0.8}
+		y := []float64{0.3, -0.7}
+		g := NewGradients(net)
+		Backprop(net, x, y, g)
+
+		for li, l := range net.Layers {
+			for o := 0; o < l.Outputs; o++ {
+				for i := 0; i < l.Inputs; i++ {
+					want := numericalGradient(net, x, y, func() *float64 { return &l.W[o][i] })
+					got := g.DW[li][o][i]
+					if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+						t.Fatalf("%s: dW[%d][%d][%d] = %v, numeric %v", act.Name(), li, o, i, got, want)
+					}
+				}
+				want := numericalGradient(net, x, y, func() *float64 { return &l.B[o] })
+				got := g.DB[li][o]
+				if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+					t.Fatalf("%s: dB[%d][%d] = %v, numeric %v", act.Name(), li, o, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBackpropReturnsLoss(t *testing.T) {
+	net := nn.NewNetwork([]int{1, 1}, nn.Identity{}, nn.Identity{})
+	net.Layers[0].W[0][0] = 2
+	g := NewGradients(net)
+	// pred = 2*3 = 6, y = 4 → loss = 0.5*(6-4)^2 = 2.
+	loss := Backprop(net, []float64{3}, []float64{4}, g)
+	if math.Abs(loss-2) > 1e-12 {
+		t.Fatalf("loss %v, want 2", loss)
+	}
+	// dL/dw = (pred-y)*x = 2*3 = 6; dL/db = 2.
+	if math.Abs(g.DW[0][0][0]-6) > 1e-12 || math.Abs(g.DB[0][0]-2) > 1e-12 {
+		t.Fatalf("gradients %v / %v", g.DW[0][0][0], g.DB[0][0])
+	}
+}
+
+func TestBackpropShapePanics(t *testing.T) {
+	net := nn.NewNetwork([]int{2, 1}, nn.Identity{}, nn.Identity{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong target size did not panic")
+		}
+	}()
+	Backprop(net, []float64{1, 2}, []float64{1, 2}, NewGradients(net))
+}
+
+func TestGradientsZeroAndAddScaled(t *testing.T) {
+	net := nn.NewNetwork([]int{2, 3, 1}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, rng.New(1))
+	a := NewGradients(net)
+	b := NewGradients(net)
+	Backprop(net, []float64{1, -1}, []float64{0.5}, a)
+	b.AddScaled(2, a)
+	if b.DW[0][0][0] != 2*a.DW[0][0][0] {
+		t.Fatal("AddScaled wrong")
+	}
+	b.Scale(0.5)
+	if math.Abs(b.DW[0][0][0]-a.DW[0][0][0]) > 1e-15 {
+		t.Fatal("Scale wrong")
+	}
+	b.Zero()
+	for li := range b.DW {
+		for o := range b.DW[li] {
+			for i := range b.DW[li][o] {
+				if b.DW[li][o][i] != 0 {
+					t.Fatal("Zero left residue")
+				}
+			}
+			if b.DB[li][o] != 0 {
+				t.Fatal("Zero left bias residue")
+			}
+		}
+	}
+}
+
+func TestLossMeanSemantics(t *testing.T) {
+	net := nn.NewNetwork([]int{1, 1}, nn.Identity{}, nn.Identity{})
+	net.Layers[0].W[0][0] = 1
+	xs := [][]float64{{1}, {2}}
+	ys := [][]float64{{0}, {0}}
+	// losses: 0.5*1, 0.5*4 → mean 1.25
+	if l := Loss(net, xs, ys); math.Abs(l-1.25) > 1e-12 {
+		t.Fatalf("Loss %v, want 1.25", l)
+	}
+	if Loss(net, nil, nil) != 0 {
+		t.Fatal("empty Loss should be 0")
+	}
+}
+
+func BenchmarkBackprop4x16x5(b *testing.B) {
+	net := nn.NewNetwork([]int{4, 16, 5}, nn.Logistic{Alpha: 1}, nn.Identity{})
+	nn.XavierInit{}.Init(net, rng.New(1))
+	g := NewGradients(net)
+	x := []float64{0.1, -0.5, 1.2, 0.7}
+	y := []float64{1, 2, 3, 4, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Backprop(net, x, y, g)
+	}
+}

@@ -1,0 +1,196 @@
+package train
+
+import (
+	"math"
+
+	"nnwc/internal/nn"
+)
+
+// Optimizer applies an accumulated gradient to a network's parameters.
+// Stateful optimizers (momentum, RPROP, Adam) lazily size their state to
+// the first network they see and must not be reused across topologies.
+type Optimizer interface {
+	// Step updates net in place given the gradient of the current batch.
+	Step(net *nn.Network, g *Gradients)
+	// Reset clears optimizer state so the instance can train a fresh
+	// network of the same topology.
+	Reset()
+	// Name identifies the optimizer in reports.
+	Name() string
+}
+
+// SGD is plain gradient descent: w ← w − LR·∂E/∂w.
+type SGD struct {
+	LR float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(net *nn.Network, g *Gradients) {
+	lr := s.LR
+	for li, l := range net.Layers {
+		for o := range l.W {
+			row, grow := l.W[o], g.DW[li][o]
+			for j := range row {
+				row[j] -= lr * grow[j]
+			}
+			l.B[o] -= lr * g.DB[li][o]
+		}
+	}
+}
+
+// Reset implements Optimizer (SGD is stateless).
+func (s *SGD) Reset() {}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Momentum is gradient descent with classical momentum:
+// v ← μ·v − LR·g; w ← w + v.
+type Momentum struct {
+	LR, Mu float64
+	vel    *Gradients
+}
+
+// Step implements Optimizer.
+func (m *Momentum) Step(net *nn.Network, g *Gradients) {
+	if m.vel == nil {
+		m.vel = NewGradients(net)
+	}
+	for li, l := range net.Layers {
+		for o := range l.W {
+			row, grow, vrow := l.W[o], g.DW[li][o], m.vel.DW[li][o]
+			for j := range row {
+				vrow[j] = m.Mu*vrow[j] - m.LR*grow[j]
+				row[j] += vrow[j]
+			}
+			m.vel.DB[li][o] = m.Mu*m.vel.DB[li][o] - m.LR*g.DB[li][o]
+			l.B[o] += m.vel.DB[li][o]
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (m *Momentum) Reset() { m.vel = nil }
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// RPROP is resilient back-propagation (Riedmiller & Braun), a batch-only
+// method that adapts a per-weight step size from the sign of successive
+// gradients. It was the workhorse of mid-2000s MLP toolkits and is fast on
+// the small, full-batch problems this paper works with.
+type RPROP struct {
+	EtaPlus, EtaMinus float64 // step growth/shrink factors (1.2 / 0.5)
+	StepInit          float64 // initial step (0.1)
+	StepMin, StepMax  float64 // step clamps (1e-6 / 50)
+	step, prev        *Gradients
+	initialized       bool
+}
+
+// NewRPROP returns an RPROP optimizer with the canonical constants.
+func NewRPROP() *RPROP {
+	return &RPROP{EtaPlus: 1.2, EtaMinus: 0.5, StepInit: 0.1, StepMin: 1e-6, StepMax: 50}
+}
+
+// Step implements Optimizer. g must be a full-batch gradient.
+func (r *RPROP) Step(net *nn.Network, g *Gradients) {
+	if !r.initialized {
+		r.step = NewGradients(net)
+		r.prev = NewGradients(net)
+		for li := range r.step.DW {
+			for o := range r.step.DW[li] {
+				for j := range r.step.DW[li][o] {
+					r.step.DW[li][o][j] = r.StepInit
+				}
+				r.step.DB[li][o] = r.StepInit
+			}
+		}
+		r.initialized = true
+	}
+	update := func(w *float64, grad float64, prevGrad, step *float64) {
+		sign := grad * *prevGrad
+		switch {
+		case sign > 0:
+			*step = math.Min(*step*r.EtaPlus, r.StepMax)
+			*w -= sgn(grad) * *step
+			*prevGrad = grad
+		case sign < 0:
+			*step = math.Max(*step*r.EtaMinus, r.StepMin)
+			// iRPROP−: do not move, forget the gradient so the next
+			// iteration takes a fresh step.
+			*prevGrad = 0
+		default:
+			*w -= sgn(grad) * *step
+			*prevGrad = grad
+		}
+	}
+	for li, l := range net.Layers {
+		for o := range l.W {
+			for j := range l.W[o] {
+				update(&l.W[o][j], g.DW[li][o][j], &r.prev.DW[li][o][j], &r.step.DW[li][o][j])
+			}
+			update(&l.B[o], g.DB[li][o], &r.prev.DB[li][o], &r.step.DB[li][o])
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (r *RPROP) Reset() { r.initialized = false; r.step, r.prev = nil, nil }
+
+// Name implements Optimizer.
+func (r *RPROP) Name() string { return "rprop" }
+
+func sgn(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// Adam is the adaptive-moment optimizer (Kingma & Ba). Included for
+// ablation benches; anachronistic relative to the paper but a useful
+// modern reference point.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	m, v                  *Gradients
+	t                     int
+}
+
+// NewAdam returns an Adam optimizer with the canonical constants and the
+// given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(net *nn.Network, g *Gradients) {
+	if a.m == nil {
+		a.m = NewGradients(net)
+		a.v = NewGradients(net)
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	update := func(w *float64, grad float64, m, v *float64) {
+		*m = a.Beta1**m + (1-a.Beta1)*grad
+		*v = a.Beta2**v + (1-a.Beta2)*grad*grad
+		*w -= a.LR * (*m / c1) / (math.Sqrt(*v/c2) + a.Eps)
+	}
+	for li, l := range net.Layers {
+		for o := range l.W {
+			for j := range l.W[o] {
+				update(&l.W[o][j], g.DW[li][o][j], &a.m.DW[li][o][j], &a.v.DW[li][o][j])
+			}
+			update(&l.B[o], g.DB[li][o], &a.m.DB[li][o], &a.v.DB[li][o])
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }

@@ -1,0 +1,85 @@
+package train
+
+import (
+	"sync"
+
+	"nnwc/internal/nn"
+)
+
+// workerScratch is one worker's reusable accumulators, allocated lazily on
+// the first parallel epoch and reused for the rest of the run.
+type workerScratch struct {
+	acc    *Gradients
+	sample *Gradients
+	loss   float64
+	used   bool
+}
+
+// shapeMatches reports whether g is shaped like net's parameters, so a
+// Trainer reused across different topologies reallocates its scratch.
+func shapeMatches(g *Gradients, net *nn.Network) bool {
+	if g == nil || len(g.DW) != len(net.Layers) {
+		return false
+	}
+	for li, l := range net.Layers {
+		if len(g.DW[li]) != l.Outputs || len(g.DB[li]) != l.Outputs {
+			return false
+		}
+		if l.Outputs > 0 && len(g.DW[li][0]) != l.Inputs {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelBatch accumulates the full-batch gradient across Workers
+// goroutines. Backprop only reads the network's weights, so the workers
+// share net; each owns a contiguous shard of samples and private gradient
+// accumulators. Shard partials merge into out in shard order, making a
+// fixed worker count fully deterministic (different counts may differ in
+// the last bits through floating-point summation order). Returns the mean
+// per-sample loss.
+func (t *Trainer) parallelBatch(net *nn.Network, xs, ys [][]float64, out *Gradients) float64 {
+	workers := t.cfg.Workers
+	if len(t.scratch) != workers || !shapeMatches(t.scratch[0].acc, net) {
+		t.scratch = make([]workerScratch, workers)
+		for w := range t.scratch {
+			t.scratch[w].acc = NewGradients(net)
+			t.scratch[w].sample = NewGradients(net)
+		}
+	}
+	n := len(xs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		sc := &t.scratch[w]
+		sc.used = lo < hi
+		if !sc.used {
+			continue
+		}
+		wg.Add(1)
+		go func(sc *workerScratch, lo, hi int) {
+			defer wg.Done()
+			sc.acc.Zero()
+			sc.loss = 0
+			for i := lo; i < hi; i++ {
+				sc.loss += Backprop(net, xs[i], ys[i], sc.sample)
+				sc.acc.AddScaled(1, sc.sample)
+			}
+		}(sc, lo, hi)
+	}
+	wg.Wait()
+
+	out.Zero()
+	var total float64
+	for w := range t.scratch {
+		if !t.scratch[w].used {
+			continue
+		}
+		out.AddScaled(1/float64(n), t.scratch[w].acc)
+		total += t.scratch[w].loss
+	}
+	return total / float64(n)
+}

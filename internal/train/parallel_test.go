@@ -1,0 +1,103 @@
+package train
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"nnwc/internal/nn"
+	"nnwc/internal/rng"
+)
+
+// trainOnce runs a short batch training with the given worker count and
+// returns the final loss and a probe prediction.
+func trainOnce(t *testing.T, workers int) (loss, probe float64) {
+	t.Helper()
+	src := rng.New(77)
+	net := nn.NewNetwork([]int{3, 10, 2}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	var xs, ys [][]float64
+	data := rng.New(5)
+	for i := 0; i < 240; i++ {
+		x := []float64{data.Uniform(-1, 1), data.Uniform(-1, 1), data.Uniform(-1, 1)}
+		xs = append(xs, x)
+		ys = append(ys, []float64{x[0] * x[1], x[2] * x[2]})
+	}
+	tr, err := New(Config{Optimizer: NewRPROP(), Mode: Batch, MaxEpochs: 120, Workers: workers}, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Fit(net, xs, ys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.FinalLoss, net.Forward([]float64{0.3, -0.2, 0.5})[0]
+}
+
+func TestParallelBatchMatchesSerial(t *testing.T) {
+	serialLoss, serialProbe := trainOnce(t, 1)
+	for _, workers := range []int{2, 4, 7} {
+		loss, probe := trainOnce(t, workers)
+		// Summation order differs, so allow small drift; training must
+		// land in essentially the same minimum.
+		if math.Abs(loss-serialLoss) > 1e-6*(1+serialLoss) {
+			t.Fatalf("workers=%d: loss %v vs serial %v", workers, loss, serialLoss)
+		}
+		if math.Abs(probe-serialProbe) > 1e-4*(1+math.Abs(serialProbe)) {
+			t.Fatalf("workers=%d: probe %v vs serial %v", workers, probe, serialProbe)
+		}
+	}
+}
+
+func TestParallelBatchDeterministicPerWorkerCount(t *testing.T) {
+	l1, p1 := trainOnce(t, 4)
+	l2, p2 := trainOnce(t, 4)
+	if l1 != l2 || p1 != p2 {
+		t.Fatal("parallel training not deterministic for a fixed worker count")
+	}
+}
+
+func TestParallelFallsBackOnTinyBatches(t *testing.T) {
+	// With fewer samples than 2×workers the trainer must use the serial
+	// path without deadlocking or dividing by zero.
+	src := rng.New(78)
+	net := nn.NewNetwork([]int{1, 2, 1}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	tr, err := New(Config{Optimizer: NewRPROP(), Mode: Batch, MaxEpochs: 5, Workers: runtime.NumCPU()}, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Fit(net, [][]float64{{1}, {2}}, [][]float64{{1}, {2}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkBatchEpochSerialVsParallel compares gradient-accumulation
+// strategies. The speedup scales with GOMAXPROCS; on a single-core host
+// the parallel path merely documents its (small) coordination overhead.
+func BenchmarkBatchEpochSerialVsParallel(b *testing.B) {
+	src := rng.New(1)
+	var xs, ys [][]float64
+	for i := 0; i < 2000; i++ {
+		x := []float64{src.Float64(), src.Float64(), src.Float64(), src.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, []float64{x[0] * x[1], x[2], x[3], x[0] + x[3], x[1]})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := map[int]string{1: "serial", 2: "workers-2", 4: "workers-4", 8: "workers-8"}[workers]
+		b.Run(name, func(b *testing.B) {
+			net := nn.NewNetwork([]int{4, 32, 5}, nn.Logistic{Alpha: 1}, nn.Identity{})
+			nn.XavierInit{}.Init(net, rng.New(2))
+			tr, err := New(Config{Optimizer: NewRPROP(), Mode: Batch, MaxEpochs: 1, Workers: workers}, rng.New(3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Fit(net, xs, ys, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,270 @@
+package train
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nnwc/internal/nn"
+	"nnwc/internal/rng"
+)
+
+// Mode selects how gradients are applied within an epoch.
+type Mode int
+
+const (
+	// Batch accumulates the gradient over the whole training set and
+	// applies one optimizer step per epoch. Required by RPROP.
+	Batch Mode = iota
+	// Online applies an optimizer step after every sample
+	// (stochastic/pattern-mode back-propagation), with per-epoch
+	// shuffling.
+	Online
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Batch:
+		return "batch"
+	case Online:
+		return "online"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// StopReason records why training terminated.
+type StopReason string
+
+const (
+	// StopThreshold means the training loss fell below Config.TargetLoss —
+	// the paper's §3.3 "threshold value ... to indicate when to stop
+	// training", the knob that keeps the fit deliberately loose.
+	StopThreshold StopReason = "loss-threshold"
+	// StopMaxEpochs means the epoch budget ran out.
+	StopMaxEpochs StopReason = "max-epochs"
+	// StopEarly means validation loss stopped improving for Patience
+	// epochs (early stopping on held-out data).
+	StopEarly StopReason = "early-stopping"
+	// StopDiverged means the loss became non-finite.
+	StopDiverged StopReason = "diverged"
+)
+
+// Config controls a training run.
+type Config struct {
+	Optimizer  Optimizer
+	Mode       Mode
+	MaxEpochs  int
+	TargetLoss float64 // stop when training MSE ≤ TargetLoss; ≤0 disables
+
+	// Early stopping on a validation split (used when ValX/ValY are set):
+	// stop when the best validation loss has not improved by at least
+	// MinDelta for Patience consecutive epochs, then restore the best
+	// weights seen.
+	Patience int
+	MinDelta float64
+
+	// RecordEvery appends a telemetry point every k epochs (and always on
+	// the last). 0 records every epoch.
+	RecordEvery int
+
+	// WeightDecay adds an L2 penalty λ‖w‖²/2 on the weights (not biases):
+	// the gradient gains a λ·w term before each optimizer step. It is the
+	// era-appropriate alternative to the paper's loose-fit threshold for
+	// keeping the model flexible (§3.3); 0 disables it.
+	WeightDecay float64
+
+	// Workers splits Batch-mode gradient accumulation across this many
+	// goroutines (0 or 1 = serial). Results are deterministic for a fixed
+	// worker count: each worker owns a contiguous sample shard and the
+	// shard sums merge in shard order. Different worker counts may differ
+	// in the last few bits (floating-point summation order). Ignored in
+	// Online mode, which is inherently sequential.
+	Workers int
+}
+
+// DefaultConfig returns the configuration used throughout the experiments:
+// full-batch RPROP, a generous epoch budget, and a loose loss threshold in
+// the spirit of the paper's §3.3.
+func DefaultConfig() Config {
+	return Config{
+		Optimizer:  NewRPROP(),
+		Mode:       Batch,
+		MaxEpochs:  2000,
+		TargetLoss: 1e-4,
+		Patience:   0,
+	}
+}
+
+// HistoryPoint is one telemetry record.
+type HistoryPoint struct {
+	Epoch     int
+	TrainLoss float64
+	ValLoss   float64 // NaN when no validation set was supplied
+}
+
+// Result summarizes a training run.
+type Result struct {
+	Epochs    int
+	FinalLoss float64
+	ValLoss   float64 // NaN when no validation set was supplied
+	Reason    StopReason
+	History   []HistoryPoint
+}
+
+// Trainer trains a network on paired rows. The zero value is not usable;
+// construct with New.
+type Trainer struct {
+	cfg Config
+	src *rng.Source
+
+	scratch []workerScratch // reusable parallel-batch accumulators
+}
+
+// New returns a Trainer with the given configuration and random source
+// (used for online-mode shuffling).
+func New(cfg Config, src *rng.Source) (*Trainer, error) {
+	if cfg.Optimizer == nil {
+		return nil, errors.New("train: Config.Optimizer is required")
+	}
+	if cfg.MaxEpochs <= 0 {
+		return nil, errors.New("train: Config.MaxEpochs must be positive")
+	}
+	if cfg.Mode == Online {
+		if _, isRPROP := cfg.Optimizer.(*RPROP); isRPROP {
+			return nil, errors.New("train: RPROP requires Batch mode")
+		}
+	}
+	if src == nil {
+		src = rng.New(1)
+	}
+	return &Trainer{cfg: cfg, src: src}, nil
+}
+
+// Fit trains net on (xs, ys). valX/valY may be nil; when provided they
+// drive early stopping and validation telemetry. Fit mutates net in place
+// and returns a Result.
+func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float64) (Result, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return Result{}, fmt.Errorf("train: need equal, non-zero sample counts (got %d, %d)", len(xs), len(ys))
+	}
+	for i := range xs {
+		if len(xs[i]) != net.InputDim() || len(ys[i]) != net.OutputDim() {
+			return Result{}, fmt.Errorf("train: sample %d shape (%d,%d) does not match network (%d,%d)",
+				i, len(xs[i]), len(ys[i]), net.InputDim(), net.OutputDim())
+		}
+	}
+	hasVal := len(valX) > 0
+	if hasVal && len(valX) != len(valY) {
+		return Result{}, errors.New("train: validation rows mismatch")
+	}
+	t.cfg.Optimizer.Reset()
+
+	sampleGrad := NewGradients(net)
+	batchGrad := NewGradients(net)
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+
+	res := Result{ValLoss: math.NaN()}
+	best := math.Inf(1)
+	bestEpoch := 0
+	var bestNet *nn.Network
+
+	record := func(epoch int, trainLoss, valLoss float64) {
+		every := t.cfg.RecordEvery
+		if every <= 0 {
+			every = 1
+		}
+		if epoch%every == 0 || epoch == t.cfg.MaxEpochs {
+			res.History = append(res.History, HistoryPoint{Epoch: epoch, TrainLoss: trainLoss, ValLoss: valLoss})
+		}
+	}
+
+	for epoch := 1; epoch <= t.cfg.MaxEpochs; epoch++ {
+		var trainLoss float64
+		switch t.cfg.Mode {
+		case Batch:
+			if t.cfg.Workers > 1 && len(xs) >= 2*t.cfg.Workers {
+				trainLoss = t.parallelBatch(net, xs, ys, batchGrad)
+			} else {
+				batchGrad.Zero()
+				for i := range xs {
+					trainLoss += Backprop(net, xs[i], ys[i], sampleGrad)
+					batchGrad.AddScaled(1/float64(len(xs)), sampleGrad)
+				}
+				trainLoss /= float64(len(xs))
+			}
+			applyWeightDecay(net, batchGrad, t.cfg.WeightDecay)
+			t.cfg.Optimizer.Step(net, batchGrad)
+		case Online:
+			t.src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for _, i := range order {
+				trainLoss += Backprop(net, xs[i], ys[i], sampleGrad)
+				applyWeightDecay(net, sampleGrad, t.cfg.WeightDecay)
+				t.cfg.Optimizer.Step(net, sampleGrad)
+			}
+			trainLoss /= float64(len(xs))
+		default:
+			return Result{}, fmt.Errorf("train: unknown mode %v", t.cfg.Mode)
+		}
+
+		valLoss := math.NaN()
+		if hasVal {
+			valLoss = Loss(net, valX, valY)
+		}
+		record(epoch, trainLoss, valLoss)
+		res.Epochs = epoch
+		res.FinalLoss = trainLoss
+		res.ValLoss = valLoss
+
+		if math.IsNaN(trainLoss) || math.IsInf(trainLoss, 0) {
+			res.Reason = StopDiverged
+			return res, nil
+		}
+		if t.cfg.TargetLoss > 0 && trainLoss <= t.cfg.TargetLoss {
+			res.Reason = StopThreshold
+			return res, nil
+		}
+		if hasVal && t.cfg.Patience > 0 {
+			if valLoss < best-t.cfg.MinDelta {
+				best = valLoss
+				bestEpoch = epoch
+				bestNet = net.Clone()
+			} else if epoch-bestEpoch >= t.cfg.Patience {
+				if bestNet != nil {
+					net.CopyWeightsFrom(bestNet)
+					res.ValLoss = best
+					res.FinalLoss = Loss(net, xs, ys)
+				}
+				res.Reason = StopEarly
+				return res, nil
+			}
+		}
+	}
+	res.Reason = StopMaxEpochs
+	if bestNet != nil && hasVal && best < res.ValLoss {
+		net.CopyWeightsFrom(bestNet)
+		res.ValLoss = best
+		res.FinalLoss = Loss(net, xs, ys)
+	}
+	return res, nil
+}
+
+// applyWeightDecay adds the L2 penalty's gradient λ·w to g. Biases are
+// conventionally left unpenalized: shrinking them shifts the function
+// rather than smoothing it.
+func applyWeightDecay(net *nn.Network, g *Gradients, lambda float64) {
+	if lambda == 0 {
+		return
+	}
+	for li, l := range net.Layers {
+		for o := range l.W {
+			row, grow := l.W[o], g.DW[li][o]
+			for j := range row {
+				grow[j] += lambda * row[j]
+			}
+		}
+	}
+}

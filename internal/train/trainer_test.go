@@ -1,0 +1,375 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"nnwc/internal/nn"
+	"nnwc/internal/rng"
+)
+
+// xorData is the classic non-linearly-separable problem; solving it proves
+// the hidden layer is actually learning.
+func xorData() (xs, ys [][]float64) {
+	xs = [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys = [][]float64{{0}, {1}, {1}, {0}}
+	return xs, ys
+}
+
+func TestRPROPSolvesXOR(t *testing.T) {
+	src := rng.New(3)
+	net := nn.NewNetwork([]int{2, 6, 1}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	tr, err := New(Config{Optimizer: NewRPROP(), Mode: Batch, MaxEpochs: 3000, TargetLoss: 1e-5}, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := xorData()
+	res, err := tr.Fit(net, xs, ys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopThreshold {
+		t.Fatalf("XOR did not converge: %+v", res)
+	}
+	for i, x := range xs {
+		pred := net.Forward(x)[0]
+		if math.Abs(pred-ys[i][0]) > 0.1 {
+			t.Fatalf("XOR(%v) = %v, want %v", x, pred, ys[i][0])
+		}
+	}
+}
+
+func TestOnlineSGDLearnsLinear(t *testing.T) {
+	// y = 2x − 1 learned by a linear "network".
+	src := rng.New(4)
+	net := nn.NewNetwork([]int{1, 1}, nn.Identity{}, nn.Identity{})
+	nn.UniformInit{Scale: 0.1}.Init(net, src)
+	var xs, ys [][]float64
+	for x := -1.0; x <= 1; x += 0.1 {
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{2*x - 1})
+	}
+	tr, err := New(Config{Optimizer: &SGD{LR: 0.05}, Mode: Online, MaxEpochs: 500, TargetLoss: 1e-8}, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Fit(net, xs, ys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss > 1e-6 {
+		t.Fatalf("linear fit did not converge: loss %v", res.FinalLoss)
+	}
+	if w := net.Layers[0].W[0][0]; math.Abs(w-2) > 0.01 {
+		t.Fatalf("learned slope %v, want 2", w)
+	}
+	if b := net.Layers[0].B[0]; math.Abs(b+1) > 0.01 {
+		t.Fatalf("learned bias %v, want -1", b)
+	}
+}
+
+func TestMomentumConvergesFasterThanSGD(t *testing.T) {
+	// Same problem, same epochs: momentum should reach a loss at least as
+	// low as plain SGD with the same LR.
+	losses := map[string]float64{}
+	for name, opt := range map[string]Optimizer{
+		"sgd":      &SGD{LR: 0.01},
+		"momentum": &Momentum{LR: 0.01, Mu: 0.9},
+	} {
+		src := rng.New(5)
+		net := nn.NewNetwork([]int{1, 4, 1}, nn.Tanh{}, nn.Identity{})
+		nn.XavierInit{}.Init(net, src)
+		var xs, ys [][]float64
+		for x := -1.0; x <= 1; x += 0.2 {
+			xs = append(xs, []float64{x})
+			ys = append(ys, []float64{x * x})
+		}
+		tr, err := New(Config{Optimizer: opt, Mode: Batch, MaxEpochs: 300}, src.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Fit(net, xs, ys, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses[name] = res.FinalLoss
+	}
+	if losses["momentum"] > losses["sgd"]*1.5 {
+		t.Fatalf("momentum (%v) much worse than sgd (%v)", losses["momentum"], losses["sgd"])
+	}
+}
+
+func TestAdamLearns(t *testing.T) {
+	src := rng.New(6)
+	net := nn.NewNetwork([]int{1, 6, 1}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	var xs, ys [][]float64
+	for x := -1.0; x <= 1; x += 0.1 {
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{math.Sin(2 * x)})
+	}
+	tr, err := New(Config{Optimizer: NewAdam(0.01), Mode: Batch, MaxEpochs: 2000, TargetLoss: 1e-5}, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Fit(net, xs, ys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss > 1e-3 {
+		t.Fatalf("Adam failed to fit sin: loss %v", res.FinalLoss)
+	}
+}
+
+func TestStopThreshold(t *testing.T) {
+	src := rng.New(7)
+	net := nn.NewNetwork([]int{1, 1}, nn.Identity{}, nn.Identity{})
+	nn.UniformInit{Scale: 0.1}.Init(net, src)
+	xs := [][]float64{{1}, {2}}
+	ys := [][]float64{{1}, {2}}
+	tr, err := New(Config{Optimizer: NewRPROP(), Mode: Batch, MaxEpochs: 10000, TargetLoss: 0.01}, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Fit(net, xs, ys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopThreshold {
+		t.Fatalf("stop reason %s", res.Reason)
+	}
+	if res.FinalLoss > 0.01 {
+		t.Fatalf("stopped above threshold: %v", res.FinalLoss)
+	}
+	// The loose threshold should stop well before the epoch budget.
+	if res.Epochs >= 10000 {
+		t.Fatal("threshold never triggered")
+	}
+}
+
+func TestEarlyStoppingRestoresBestWeights(t *testing.T) {
+	// Validation set from a different function than training: validation
+	// loss will bottom out and rise; early stopping must fire and restore
+	// the best weights.
+	src := rng.New(8)
+	net := nn.NewNetwork([]int{1, 12, 1}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	var xs, ys, vx, vy [][]float64
+	noise := rng.New(99)
+	for x := -1.0; x <= 1; x += 0.15 {
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{x*x + noise.NormMeanStd(0, 0.15)})
+		vx = append(vx, []float64{x + 0.07})
+		vy = append(vy, []float64{(x + 0.07) * (x + 0.07)})
+	}
+	tr, err := New(Config{
+		Optimizer: NewRPROP(), Mode: Batch, MaxEpochs: 5000,
+		Patience: 50, MinDelta: 1e-7,
+	}, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Fit(net, xs, ys, vx, vy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopEarly && res.Reason != StopMaxEpochs {
+		t.Fatalf("unexpected stop reason %s", res.Reason)
+	}
+	// The reported validation loss must match the restored network.
+	got := Loss(net, vx, vy)
+	if math.Abs(got-res.ValLoss) > 1e-9 {
+		t.Fatalf("restored network val loss %v != reported %v", got, res.ValLoss)
+	}
+}
+
+func TestDivergenceDetected(t *testing.T) {
+	src := rng.New(9)
+	net := nn.NewNetwork([]int{1, 4, 1}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	xs := [][]float64{{1}, {2}, {3}}
+	ys := [][]float64{{1}, {4}, {9}}
+	// Absurd learning rate guarantees explosion.
+	tr, err := New(Config{Optimizer: &SGD{LR: 1e6}, Mode: Batch, MaxEpochs: 100}, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Fit(net, xs, ys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopDiverged {
+		t.Fatalf("divergence not detected: %s (loss %v)", res.Reason, res.FinalLoss)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Mode: Batch, MaxEpochs: 10}, nil); err == nil {
+		t.Fatal("missing optimizer accepted")
+	}
+	if _, err := New(Config{Optimizer: &SGD{LR: 0.1}, MaxEpochs: 0}, nil); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	if _, err := New(Config{Optimizer: NewRPROP(), Mode: Online, MaxEpochs: 10}, nil); err == nil {
+		t.Fatal("RPROP in online mode accepted")
+	}
+}
+
+func TestFitValidatesShapes(t *testing.T) {
+	src := rng.New(10)
+	net := nn.NewNetwork([]int{2, 1}, nn.Identity{}, nn.Identity{})
+	tr, err := New(Config{Optimizer: &SGD{LR: 0.1}, Mode: Batch, MaxEpochs: 5}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Fit(net, nil, nil, nil, nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := tr.Fit(net, [][]float64{{1}}, [][]float64{{1}}, nil, nil); err == nil {
+		t.Fatal("wrong input dim accepted")
+	}
+	if _, err := tr.Fit(net, [][]float64{{1, 2}}, [][]float64{{1, 2}}, nil, nil); err == nil {
+		t.Fatal("wrong output dim accepted")
+	}
+	if _, err := tr.Fit(net, [][]float64{{1, 2}}, [][]float64{{1}}, [][]float64{{1, 2}}, nil); err == nil {
+		t.Fatal("mismatched validation rows accepted")
+	}
+}
+
+func TestHistoryRecording(t *testing.T) {
+	src := rng.New(11)
+	net := nn.NewNetwork([]int{1, 1}, nn.Identity{}, nn.Identity{})
+	nn.UniformInit{Scale: 0.1}.Init(net, src)
+	xs := [][]float64{{1}, {2}}
+	ys := [][]float64{{2}, {4}}
+	tr, err := New(Config{Optimizer: &SGD{LR: 0.01}, Mode: Batch, MaxEpochs: 50, RecordEvery: 10}, src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Fit(net, xs, ys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 5 {
+		t.Fatalf("history points %d, want 5", len(res.History))
+	}
+	// Loss should be non-increasing overall for this convex problem.
+	first, last := res.History[0].TrainLoss, res.History[len(res.History)-1].TrainLoss
+	if last > first {
+		t.Fatalf("loss rose from %v to %v", first, last)
+	}
+}
+
+func TestOptimizerNamesAndReset(t *testing.T) {
+	opts := []Optimizer{&SGD{LR: 0.1}, &Momentum{LR: 0.1, Mu: 0.9}, NewRPROP(), NewAdam(0.001)}
+	names := map[string]bool{}
+	for _, o := range opts {
+		if o.Name() == "" {
+			t.Fatal("empty optimizer name")
+		}
+		names[o.Name()] = true
+		o.Reset() // must not panic before first Step
+	}
+	if len(names) != 4 {
+		t.Fatal("duplicate optimizer names")
+	}
+}
+
+func TestRPROPResetClearsState(t *testing.T) {
+	src := rng.New(12)
+	net := nn.NewNetwork([]int{1, 1}, nn.Identity{}, nn.Identity{})
+	nn.UniformInit{Scale: 0.1}.Init(net, src)
+	g := NewGradients(net)
+	Backprop(net, []float64{1}, []float64{2}, g)
+	r := NewRPROP()
+	r.Step(net, g)
+	r.Reset()
+	if r.initialized || r.step != nil || r.prev != nil {
+		t.Fatal("Reset left state")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Batch.String() != "batch" || Online.String() != "online" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should still render")
+	}
+}
+
+func BenchmarkEpochRPROP(b *testing.B) {
+	src := rng.New(1)
+	net := nn.NewNetwork([]int{4, 16, 5}, nn.Logistic{Alpha: 1}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	var xs, ys [][]float64
+	for i := 0; i < 300; i++ {
+		x := []float64{src.Float64(), src.Float64(), src.Float64(), src.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, []float64{x[0], x[1] * x[2], x[3], x[0] + x[1], x[2]})
+	}
+	cfg := Config{Optimizer: NewRPROP(), Mode: Batch, MaxEpochs: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := New(cfg, rng.New(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.Fit(net, xs, ys, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	norm := func(net *nn.Network) float64 {
+		var s float64
+		for _, l := range net.Layers {
+			for _, row := range l.W {
+				for _, w := range row {
+					s += w * w
+				}
+			}
+		}
+		return s
+	}
+	run := func(decay float64) float64 {
+		src := rng.New(80)
+		net := nn.NewNetwork([]int{1, 16, 1}, nn.Tanh{}, nn.Identity{})
+		nn.XavierInit{}.Init(net, src)
+		noise := rng.New(81)
+		var xs, ys [][]float64
+		for i := 0; i < 40; i++ {
+			x := noise.Uniform(-1, 1)
+			xs = append(xs, []float64{x})
+			ys = append(ys, []float64{x + noise.NormMeanStd(0, 0.3)})
+		}
+		tr, err := New(Config{Optimizer: NewRPROP(), Mode: Batch, MaxEpochs: 400, WeightDecay: decay}, src.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Fit(net, xs, ys, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		return norm(net)
+	}
+	plain := run(0)
+	decayed := run(0.01)
+	if decayed >= plain {
+		t.Fatalf("weight decay did not shrink weights: %v vs %v", decayed, plain)
+	}
+}
+
+func TestWeightDecayZeroIsNoop(t *testing.T) {
+	src := rng.New(82)
+	net := nn.NewNetwork([]int{1, 2, 1}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	g := NewGradients(net)
+	Backprop(net, []float64{1}, []float64{0.5}, g)
+	before := g.DW[0][0][0]
+	applyWeightDecay(net, g, 0)
+	if g.DW[0][0][0] != before {
+		t.Fatal("decay 0 modified the gradient")
+	}
+}

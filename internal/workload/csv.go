@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Target columns are marked in CSV headers with this prefix so a round-trip
+// preserves which columns are configuration parameters and which are
+// performance indicators.
+const targetPrefix = "y:"
+
+// WriteCSV serializes the dataset. The header carries feature names as-is
+// and target names prefixed with "y:".
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.NumFeatures()+d.NumTargets())
+	header = append(header, d.FeatureNames...)
+	for _, t := range d.TargetNames {
+		header = append(header, targetPrefix+t)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, s := range d.Samples {
+		for i, v := range s.X {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		for i, v := range s.Y {
+			rec[d.NumFeatures()+i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading CSV header: %w", err)
+	}
+	var features, targets []string
+	for _, h := range header {
+		if name, ok := strings.CutPrefix(h, targetPrefix); ok {
+			targets = append(targets, name)
+		} else {
+			if len(targets) > 0 {
+				return nil, fmt.Errorf("workload: feature column %q appears after target columns", h)
+			}
+			features = append(features, h)
+		}
+	}
+	if len(features) == 0 || len(targets) == 0 {
+		return nil, fmt.Errorf("workload: CSV must contain at least one feature and one %q-prefixed target column", targetPrefix)
+	}
+	d := NewDataset(features, targets)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("workload: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		s := Sample{X: make([]float64, len(features)), Y: make([]float64, len(targets))}
+		for i := range rec {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: CSV line %d field %d: %w", line, i+1, err)
+			}
+			if i < len(features) {
+				s.X[i] = v
+			} else {
+				s.Y[i-len(features)] = v
+			}
+		}
+		d.Samples = append(d.Samples, s)
+	}
+	return d, nil
+}

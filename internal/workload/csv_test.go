@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nnwc/internal/rng"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := sampleDataset(7)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip lost samples: %d vs %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Samples {
+		for j := range ds.Samples[i].X {
+			if ds.Samples[i].X[j] != back.Samples[i].X[j] {
+				t.Fatal("X mismatch after round trip")
+			}
+		}
+		for j := range ds.Samples[i].Y {
+			if ds.Samples[i].Y[j] != back.Samples[i].Y[j] {
+				t.Fatal("Y mismatch after round trip")
+			}
+		}
+	}
+	if back.FeatureNames[0] != "a" || back.TargetNames[2] != "y3" {
+		t.Fatalf("names lost: %v %v", back.FeatureNames, back.TargetNames)
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		ds := NewDataset([]string{"f1", "f2", "f3"}, []string{"t1"})
+		n := 1 + src.Intn(20)
+		for i := 0; i < n; i++ {
+			ds.MustAppend(Sample{
+				X: []float64{src.Uniform(-1e6, 1e6), src.Norm(), src.Exp(1)},
+				Y: []float64{src.Uniform(0, 1)},
+			})
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range ds.Samples {
+			for j := range ds.Samples[i].X {
+				if ds.Samples[i].X[j] != back.Samples[i].X[j] {
+					return false
+				}
+			}
+			if ds.Samples[i].Y[0] != back.Samples[i].Y[0] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVPreservesPrecision(t *testing.T) {
+	ds := NewDataset([]string{"x"}, []string{"y"})
+	vals := []float64{math.Pi, 1e-300, 1e300, -0.1, 123456789.123456789}
+	for _, v := range vals {
+		ds.MustAppend(Sample{X: []float64{v}, Y: []float64{v}})
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if back.Samples[i].X[0] != v {
+			t.Fatalf("precision lost: %v became %v", v, back.Samples[i].X[0])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"no targets":           "a,b\n1,2\n",
+		"no features":          "y:a,y:b\n1,2\n",
+		"feature after target": "a,y:b,c\n1,2,3\n",
+		"bad float":            "a,y:b\n1,zap\n",
+		"short row":            "a,y:b\n1\n",
+		"empty":                "",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestHeaderMarksTargets(t *testing.T) {
+	ds := sampleDataset(1)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if header != "a,b,y:y1,y:y2,y:y3" {
+		t.Fatalf("header %q", header)
+	}
+}

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts ReadCSV never panics on arbitrary input, and that
+// whatever it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b,y:t\n1,2,3\n")
+	f.Add("a,y:t\n1,2\n-5,1e300\n")
+	f.Add("")
+	f.Add("y:t,a\n1,2\n")
+	f.Add("a,y:t\n1\n")
+	f.Add("a,y:t\nx,y\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		ds, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset fails to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != ds.Len() {
+			t.Fatalf("round trip changed sample count: %d vs %d", back.Len(), ds.Len())
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package workload
+
+import "testing"
+
+func TestFilter(t *testing.T) {
+	ds := sampleDataset(10)
+	out := ds.Filter(func(s Sample) bool { return s.X[0] >= 5 })
+	if out.Len() != 5 {
+		t.Fatalf("filtered to %d samples", out.Len())
+	}
+	for _, s := range out.Samples {
+		if s.X[0] < 5 {
+			t.Fatal("filter kept an excluded sample")
+		}
+	}
+	if out.NumFeatures() != ds.NumFeatures() {
+		t.Fatal("schema lost")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sampleDataset(3)
+	b := sampleDataset(4)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 7 {
+		t.Fatalf("merged to %d samples", m.Len())
+	}
+	// Originals untouched.
+	if a.Len() != 3 || b.Len() != 4 {
+		t.Fatal("merge mutated inputs")
+	}
+}
+
+func TestMergeSchemaMismatch(t *testing.T) {
+	a := sampleDataset(2)
+	b := NewDataset([]string{"a", "zzz"}, a.TargetNames)
+	b.MustAppend(Sample{X: []float64{1, 2}, Y: []float64{1, 2, 3}})
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("mismatched feature names accepted")
+	}
+	c := NewDataset([]string{"a"}, []string{"y1"})
+	c.MustAppend(Sample{X: []float64{1}, Y: []float64{1}})
+	if _, err := Merge(a, c); err == nil {
+		t.Fatal("mismatched dims accepted")
+	}
+	d := NewDataset(a.FeatureNames, []string{"y1", "nope", "y3"})
+	d.MustAppend(Sample{X: []float64{1, 2}, Y: []float64{1, 2, 3}})
+	if _, err := Merge(a, d); err == nil {
+		t.Fatal("mismatched target names accepted")
+	}
+}
+
+func TestSelectTargets(t *testing.T) {
+	ds := sampleDataset(4)
+	out, err := ds.SelectTargets("y3", "y1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumTargets() != 2 {
+		t.Fatalf("%d targets", out.NumTargets())
+	}
+	if out.TargetNames[0] != "y3" || out.TargetNames[1] != "y1" {
+		t.Fatalf("target order %v", out.TargetNames)
+	}
+	// Sample 2: y = (20, 40, 60) originally.
+	if out.Samples[2].Y[0] != 60 || out.Samples[2].Y[1] != 20 {
+		t.Fatalf("reordered values wrong: %v", out.Samples[2].Y)
+	}
+	if _, err := ds.SelectTargets("nope"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := ds.SelectTargets(); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestIndexLookups(t *testing.T) {
+	ds := sampleDataset(1)
+	j, err := ds.FeatureIndex("b")
+	if err != nil || j != 1 {
+		t.Fatalf("FeatureIndex: %d %v", j, err)
+	}
+	k, err := ds.TargetIndex("y2")
+	if err != nil || k != 1 {
+		t.Fatalf("TargetIndex: %d %v", k, err)
+	}
+	if _, err := ds.FeatureIndex("zz"); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+	if _, err := ds.TargetIndex("zz"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
