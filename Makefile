@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in the bench harnesses
+# without paying for real measurement runs.
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+# Real measurement run for the hot training kernels (see DESIGN.md §6).
+bench:
+	$(GO) test -run '^$$' -bench 'Forward|Backprop|Epoch' -benchmem -benchtime 2s ./internal/nn ./internal/train
+
+ci: build vet race bench-smoke
+
+clean:
+	rm -rf results
+	$(GO) clean -testcache

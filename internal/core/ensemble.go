@@ -70,6 +70,34 @@ func (e *Ensemble) PredictWithSpread(x []float64) (mean, spread []float64) {
 	return mean, spread
 }
 
+// PredictAll returns the member-mean prediction for every row, routing each
+// member through its batched forward pass. Row for row the result is
+// bit-identical to Predict (same member order, same sum-then-divide).
+func (e *Ensemble) PredictAll(xs [][]float64) [][]float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	m := e.OutputDim()
+	out := make([][]float64, len(xs))
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	for _, member := range e.Members {
+		for i, row := range member.PredictAll(xs) {
+			for j, v := range row {
+				out[i][j] += v
+			}
+		}
+	}
+	n := float64(len(e.Members))
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] /= n
+		}
+	}
+	return out
+}
+
 // InputDim returns the configuration dimensionality.
 func (e *Ensemble) InputDim() int { return e.Members[0].InputDim() }
 

@@ -34,8 +34,9 @@ func Evaluate(p Predictor, ds *workload.Dataset) (*Evaluation, error) {
 	m := ds.NumTargets()
 	actual := make([][]float64, m)
 	pred := make([][]float64, m)
-	for _, s := range ds.Samples {
-		out := p.Predict(s.X)
+	outs := PredictAll(p, ds.Xs())
+	for i, s := range ds.Samples {
+		out := outs[i]
 		if len(out) != m {
 			return nil, errors.New("core: predictor output dimensionality does not match dataset")
 		}

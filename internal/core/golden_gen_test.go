@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"nnwc/internal/train"
+)
+
+// TestGenerateGoldenModel regenerates the golden persisted-model fixture.
+// It only runs when NNWC_GEN_GOLDEN=1; the committed fixture was produced
+// by the pre-flat-weights implementation so LoadModel must keep accepting
+// it unchanged across the refactor.
+func TestGenerateGoldenModel(t *testing.T) {
+	if os.Getenv("NNWC_GEN_GOLDEN") != "1" {
+		t.Skip("set NNWC_GEN_GOLDEN=1 to regenerate golden files")
+	}
+	ds := syntheticDataset(80, 20260805)
+	tc := train.DefaultConfig()
+	tc.MaxEpochs = 300
+	model, err := Fit(ds, Config{Hidden: []int{8}, Train: &tc, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/golden_model.json", buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	probes := [][]float64{
+		{0, 0},
+		{1.5, -1.5},
+		{-2, 2},
+		{0.25, 0.75},
+	}
+	var preds [][]float64
+	for _, x := range probes {
+		preds = append(preds, model.Predict(x))
+	}
+	doc := map[string]interface{}{"probes": probes, "predictions": preds}
+	out, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/golden_model_predictions.json", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

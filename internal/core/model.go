@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nnwc/internal/mat"
 	"nnwc/internal/nn"
 	"nnwc/internal/preprocess"
 	"nnwc/internal/rng"
@@ -29,6 +30,28 @@ import (
 // the polynomial models all satisfy it.
 type Predictor interface {
 	Predict(x []float64) []float64
+}
+
+// BatchPredictor is a Predictor that can evaluate many configurations in
+// one call, amortizing per-sample overhead (the MLP model routes this
+// through the batched forward kernels).
+type BatchPredictor interface {
+	Predictor
+	PredictAll(xs [][]float64) [][]float64
+}
+
+// PredictAll evaluates p on every row, taking the batched path when p
+// supports it and falling back to a per-row loop otherwise. Both paths
+// produce identical values row for row.
+func PredictAll(p Predictor, xs [][]float64) [][]float64 {
+	if bp, ok := p.(BatchPredictor); ok {
+		return bp.PredictAll(xs)
+	}
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = p.Predict(x)
+	}
+	return out
 }
 
 // StandardizeMode selects output standardization per §3.1: inputs are
@@ -198,11 +221,19 @@ func (m *NNModel) Predict(x []float64) []float64 {
 	return m.YScaler.Inverse(m.Net.Forward(m.XScaler.Transform(x)))
 }
 
-// PredictAll maps Predict over rows.
+// PredictAll maps Predict over rows through one batched forward pass; the
+// per-row results are bit-identical to calling Predict on each row.
 func (m *NNModel) PredictAll(xs [][]float64) [][]float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	var X mat.Matrix
+	X.CopyRows(preprocess.TransformAll(m.XScaler, xs))
+	var ws nn.BatchWorkspace
+	pred := m.Net.ForwardBatch(&X, &ws)
 	out := make([][]float64, len(xs))
-	for i, x := range xs {
-		out[i] = m.Predict(x)
+	for i := range out {
+		out[i] = m.YScaler.Inverse(pred.Row(i))
 	}
 	return out
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+// TestGoldenModelRoundTrip loads the committed model fixture written by the
+// pre-flat-weights implementation and checks it predicts identically under
+// the flat-parameter network. This pins the persisted-model format across
+// the memory-layout refactor: scaler parameters, schema, and nested weight
+// rows all keep loading.
+func TestGoldenModelRoundTrip(t *testing.T) {
+	f, err := os.Open("testdata/golden_model.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	model, err := LoadModel(f)
+	if err != nil {
+		t.Fatalf("golden model no longer loads: %v", err)
+	}
+	if model.InputDim() != 2 || model.OutputDim() != 2 {
+		t.Fatalf("golden model dims %d->%d", model.InputDim(), model.OutputDim())
+	}
+
+	raw, err := os.ReadFile("testdata/golden_model_predictions.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Probes      [][]float64 `json:"probes"`
+		Predictions [][]float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Probes) == 0 {
+		t.Fatal("golden fixture has no probes")
+	}
+	for i, x := range doc.Probes {
+		got := model.Predict(x)
+		for j, want := range doc.Predictions[i] {
+			if math.Abs(got[j]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("probe %d output %d: got %v, golden %v", i, j, got[j], want)
+			}
+		}
+	}
+
+	// The batched path must agree with the per-probe path exactly.
+	batch := model.PredictAll(doc.Probes)
+	for i := range doc.Probes {
+		for j, want := range doc.Predictions[i] {
+			if math.Abs(batch[i][j]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("batched probe %d output %d: got %v, golden %v", i, j, batch[i][j], want)
+			}
+		}
+	}
+
+	// Saving the loaded model and loading it again must round-trip.
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range doc.Probes {
+		got, want := back.Predict(x), model.Predict(x)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("re-saved probe %d output %d drifted: %v vs %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Reference Table-2 cross-validation numbers captured from the pre-refactor
+// (per-sample, ragged-weights) implementation on the standard synthetic
+// setup. The flat-parameter / batched compute spine keeps every
+// floating-point rounding step of the serial training path, so these must
+// keep reproducing to well under 1e-9.
+const (
+	seedRefAvg0    = 0.0027368722195466755
+	seedRefAvg1    = 0.0022901977227838028
+	seedRefOverall = 0.0025135349711652389
+)
+
+// TestCrossValidationMatchesSeedReference pins numerical equivalence of the
+// end-to-end pipeline (standardize → init → RPROP training → HMRE metric)
+// across the memory-layout refactor.
+func TestCrossValidationMatchesSeedReference(t *testing.T) {
+	ds := syntheticDataset(120, 42)
+	res, err := CrossValidate(ds, fastConfig(), 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Averages) != 2 {
+		t.Fatalf("expected 2 indicators, got %d", len(res.Averages))
+	}
+	for j, want := range []float64{seedRefAvg0, seedRefAvg1} {
+		if math.Abs(res.Averages[j]-want) > 1e-9 {
+			t.Fatalf("avg[%d] = %.17g, seed reference %.17g (diff %g)",
+				j, res.Averages[j], want, res.Averages[j]-want)
+		}
+	}
+	if got := res.OverallError(); math.Abs(got-seedRefOverall) > 1e-9 {
+		t.Fatalf("overall = %.17g, seed reference %.17g", got, seedRefOverall)
+	}
+}

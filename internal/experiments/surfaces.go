@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"nnwc/internal/core"
 	"nnwc/internal/plot"
 	"nnwc/internal/stats"
 	"nnwc/internal/surface"
@@ -110,8 +111,10 @@ func (c *Context) runSurface(title, artifact string, output int, expectation str
 	}
 
 	// Overlay the paper's "dots": ground truth from the simulator at a
-	// coarse subgrid, to report how far the surface sits from reality.
+	// coarse subgrid, to report how far the surface sits from reality. The
+	// probe configurations are collected first and predicted in one batch.
 	var actual, predicted []float64
+	var probes [][]float64
 	for _, dv := range subsample(sl.XValues, 3) {
 		for _, wv := range subsample(sl.YValues, 3) {
 			cfg := threetier.Config{
@@ -124,10 +127,12 @@ func (c *Context) runSurface(title, artifact string, output int, expectation str
 			if err != nil {
 				return err
 			}
-			x := cfg.Vector()
 			actual = append(actual, m.Indicators()[output])
-			predicted = append(predicted, model.Predict(x)[output])
+			probes = append(probes, cfg.Vector())
 		}
+	}
+	for _, out := range core.PredictAll(model, probes) {
+		predicted = append(predicted, out[output])
 	}
 	dev := stats.MAPE(actual, predicted)
 	c.printf("  model vs fresh simulation at 9 probe points: mean |rel.err| %.1f%%\n\n", dev*100)

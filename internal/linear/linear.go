@@ -100,11 +100,24 @@ func (m *Model) Predict(x []float64) []float64 {
 	return out
 }
 
-// PredictAll maps Predict over rows.
+// PredictAll maps Predict over rows as one matrix product X·Wᵀ. Row dot
+// products accumulate in the same order as MulVec, so each row matches
+// Predict exactly.
 func (m *Model) PredictAll(xs [][]float64) [][]float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	var X, P mat.Matrix
+	X.CopyRows(xs)
+	mat.MulTransInto(P.Reshape(len(xs), m.OutputDim()), &X, m.W)
 	out := make([][]float64, len(xs))
-	for i, x := range xs {
-		out[i] = m.Predict(x)
+	for i := range out {
+		row := make([]float64, m.OutputDim())
+		copy(row, P.Row(i))
+		for j := range row {
+			row[j] += m.B[j]
+		}
+		out[i] = row
 	}
 	return out
 }

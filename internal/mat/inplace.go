@@ -1,0 +1,143 @@
+package mat
+
+// This file holds the in-place / batched kernels that back the neural-network
+// compute spine. Unlike the allocating helpers in mat.go — kept for the
+// linear-algebra solvers where clarity wins — these kernels write into
+// caller-owned memory so per-epoch training loops run without allocation.
+
+// Reshape reuses m's backing array as a rows×cols view, growing the backing
+// only when its capacity is insufficient. Existing contents are preserved up
+// to the new length when no growth occurs and are otherwise unspecified;
+// callers treat a reshaped matrix as uninitialized scratch. Returns m.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(ErrShape)
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// RowRange returns a view of rows [lo, hi) sharing m's backing array
+// (possibly empty when lo == hi). Mutations through the view are visible in
+// m. The view is returned by value so hot loops can keep it on the stack.
+func (m *Matrix) RowRange(lo, hi int) Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(ErrShape)
+	}
+	return Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// CopyRows copies a rectangular [][]float64 into m, reshaping it to fit.
+// It panics on empty or ragged input. Returns m.
+func (m *Matrix) CopyRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic(ErrShape)
+	}
+	m.Reshape(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(ErrShape)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulInto computes dst = a·b without allocating. dst must not alias a or b;
+// it is reshaped to a.Rows×b.Cols. Returns dst.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(ErrShape)
+	}
+	dst.Reshape(a.Rows, b.Cols)
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// MulTransInto computes dst = a·bᵀ without allocating — the batched layer
+// product (samples × features)·(outputs × features)ᵀ. Both operands are
+// walked row-contiguously. dst must not alias a or b; it is reshaped to
+// a.Rows×b.Rows. Returns dst.
+func MulTransInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	dst.Reshape(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			crow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return dst
+}
+
+// MulTransLeftInto computes dst = aᵀ·b without allocating — the gradient
+// product (samples × outputs)ᵀ·(samples × inputs) summed over the sample
+// axis in ascending row order. dst must not alias a or b; it is reshaped to
+// a.Cols×b.Cols. Returns dst.
+func MulTransLeftInto(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(ErrShape)
+	}
+	dst.Reshape(a.Cols, b.Cols)
+	dst.Zero()
+	for n := 0; n < a.Rows; n++ {
+		arow := a.Row(n)
+		brow := b.Row(n)
+		for o, av := range arow {
+			if av == 0 {
+				continue
+			}
+			AXPY(av, brow, dst.Row(o))
+		}
+	}
+	return dst
+}
+
+// MulVecInto computes dst = m·x without allocating. dst must have length
+// m.Rows and must not alias x. Returns dst.
+func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
+	if m.Cols != len(x) || m.Rows != len(dst) {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+	return dst
+}
+
+// AddScaledInto computes dst += alpha·src element-wise over whole matrices.
+// The shapes must match.
+func AddScaledInto(dst *Matrix, alpha float64, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(ErrShape)
+	}
+	AXPY(alpha, src.Data, dst.Data)
+}

@@ -195,6 +195,7 @@ func AXPY(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(ErrShape)
 	}
+	y = y[:len(x)]
 	for i, v := range x {
 		y[i] += alpha * v
 	}

@@ -120,6 +120,69 @@ func (LogCompress) Deriv(x, _ float64) float64 {
 // Name implements Activation.
 func (LogCompress) Name() string { return "logcompress" }
 
+// EvalRow applies act to every pre[i], writing out[i]. It type-switches on
+// the concrete activation once per row so the hot loop uses direct,
+// inlinable calls instead of per-element interface dispatch; the arithmetic
+// is identical to calling Eval per element.
+func EvalRow(act Activation, pre, out []float64) {
+	out = out[:len(pre)]
+	switch a := act.(type) {
+	case Identity:
+		copy(out, pre)
+	case Logistic:
+		for i, v := range pre {
+			out[i] = a.Eval(v)
+		}
+	case Tanh:
+		for i, v := range pre {
+			out[i] = Tanh{}.Eval(v)
+		}
+	case ReLU:
+		for i, v := range pre {
+			out[i] = ReLU{}.Eval(v)
+		}
+	case LogCompress:
+		for i, v := range pre {
+			out[i] = LogCompress{}.Eval(v)
+		}
+	default:
+		for i, v := range pre {
+			out[i] = act.Eval(v)
+		}
+	}
+}
+
+// ScaleByDeriv multiplies dst[i] by act.Deriv(pre[i], y[i]) — the
+// back-propagation step that folds the activation derivative into a delta
+// row — with the same once-per-row devirtualization as EvalRow.
+func ScaleByDeriv(act Activation, pre, y, dst []float64) {
+	pre, y = pre[:len(dst)], y[:len(dst)]
+	switch a := act.(type) {
+	case Identity:
+		// Deriv is 1 everywhere.
+	case Logistic:
+		for i := range dst {
+			dst[i] *= a.Deriv(pre[i], y[i])
+		}
+	case Tanh:
+		for i := range dst {
+			dst[i] *= Tanh{}.Deriv(pre[i], y[i])
+		}
+	case ReLU:
+		for i := range dst {
+			dst[i] *= ReLU{}.Deriv(pre[i], y[i])
+		}
+	case LogCompress:
+		for i := range dst {
+			dst[i] *= LogCompress{}.Deriv(pre[i], y[i])
+		}
+	default:
+		for i := range dst {
+			dst[i] *= act.Deriv(pre[i], y[i])
+		}
+	}
+}
+
 // ActivationByName reconstructs an activation from its Name() string,
 // for model deserialization.
 func ActivationByName(name string) (Activation, error) {

@@ -30,9 +30,9 @@ func New(sizes []int, src *rng.Source) *nn.Network {
 func NewHybrid(sizes []int, src *rng.Source) *nn.Network {
 	net := nn.NewNetwork(sizes, nn.Tanh{}, nn.Identity{})
 	if len(net.Layers) > 1 {
-		first := net.Layers[0]
-		replaced := nn.NewLayer(first.Inputs, first.Outputs, nn.LogCompress{})
-		net.Layers[0] = replaced
+		// Swap the first hidden layer's activation in place: layers view the
+		// network's flat parameter vector, so the layer object itself stays.
+		net.Layers[0].Act = nn.LogCompress{}
 	}
 	nn.XavierInit{}.Init(net, src)
 	return net

@@ -4,29 +4,45 @@ import (
 	"fmt"
 	"math"
 
+	"nnwc/internal/mat"
 	"nnwc/internal/rng"
 )
 
 // Layer is one fully connected layer of perceptrons. Each of the Outputs
-// perceptrons computes act(Σⱼ W[i][j]·xⱼ + B[i]); the bias B[i] plays the
+// perceptrons computes act(Σⱼ W[i,j]·xⱼ + B[i]); the bias B[i] plays the
 // role of the paper's −w₀ threshold term.
+//
+// Weights live in a single row-major mat.Matrix (Outputs × Inputs) and the
+// biases directly after them, so a layer's parameters occupy one contiguous
+// block. Layers built by NewNetwork view slices of the network's flat
+// parameter vector; standalone layers from NewLayer own a private block.
 type Layer struct {
 	Inputs, Outputs int
-	W               [][]float64 // Outputs × Inputs weights
+	W               *mat.Matrix // Outputs × Inputs weights, row-major
 	B               []float64   // Outputs biases
 	Act             Activation
 }
 
-// NewLayer allocates a zero-weight layer.
+// NewLayer allocates a standalone zero-weight layer backed by its own
+// contiguous parameter block.
 func NewLayer(inputs, outputs int, act Activation) *Layer {
 	if inputs <= 0 || outputs <= 0 {
 		panic(fmt.Sprintf("nn: invalid layer shape %d->%d", inputs, outputs))
 	}
-	w := make([][]float64, outputs)
-	for i := range w {
-		w[i] = make([]float64, inputs)
+	block := make([]float64, outputs*inputs+outputs)
+	return newLayerView(inputs, outputs, act, block)
+}
+
+// newLayerView builds a layer whose W and B view the given parameter block
+// (length outputs*inputs+outputs): weights first, row-major, then biases.
+func newLayerView(inputs, outputs int, act Activation, block []float64) *Layer {
+	return &Layer{
+		Inputs:  inputs,
+		Outputs: outputs,
+		W:       &mat.Matrix{Rows: outputs, Cols: inputs, Data: block[:outputs*inputs]},
+		B:       block[outputs*inputs:],
+		Act:     act,
 	}
-	return &Layer{Inputs: inputs, Outputs: outputs, W: w, B: make([]float64, outputs), Act: act}
 }
 
 // Forward computes the layer output for input x, also returning the
@@ -37,16 +53,27 @@ func (l *Layer) Forward(x []float64) (out, pre []float64) {
 	}
 	out = make([]float64, l.Outputs)
 	pre = make([]float64, l.Outputs)
+	l.forwardInto(x, out, pre)
+	return out, pre
+}
+
+// forwardInto is the allocation-free core of Forward: one affine transform
+// plus activation into caller-owned slices. The pre-activations are
+// computed first and the activation applied row-wise afterwards — same
+// values as the per-neuron formulation, but with the activation
+// devirtualized once per row.
+func (l *Layer) forwardInto(x, out, pre []float64) {
+	wd, off := l.W.Data, 0
 	for i := 0; i < l.Outputs; i++ {
 		s := l.B[i]
-		w := l.W[i]
+		w := wd[off : off+len(x)]
+		off += l.Inputs
 		for j, xv := range x {
 			s += w[j] * xv
 		}
 		pre[i] = s
-		out[i] = l.Act.Eval(s)
 	}
-	return out, pre
+	EvalRow(l.Act, pre[:l.Outputs], out)
 }
 
 // NumParams returns the number of trainable parameters in the layer.
@@ -55,8 +82,16 @@ func (l *Layer) NumParams() int { return l.Outputs*l.Inputs + l.Outputs }
 // Network is a multilayer perceptron: an input "layer" (not counted, per
 // the paper's convention in §2.2), zero or more hidden layers, and an
 // output layer.
+//
+// All parameters live in one flat vector, ordered layer by layer — each
+// layer contributing its weights (row-major, Outputs × Inputs) followed by
+// its biases. Every Layer's W and B are views into that vector, so
+// optimizers, serialization, and gradient bookkeeping can treat the whole
+// network as a single []float64. Do not replace entries of Layers with
+// foreign layers — mutate Act or the weight values in place instead.
 type Network struct {
 	Layers []*Layer
+	params []float64
 }
 
 // NewNetwork builds an MLP with the given layer sizes. sizes[0] is the
@@ -67,15 +102,50 @@ func NewNetwork(sizes []int, hidden, output Activation) *Network {
 	if len(sizes) < 2 {
 		panic("nn: network needs at least input and output sizes")
 	}
-	n := &Network{}
-	for i := 0; i < len(sizes)-1; i++ {
-		act := hidden
-		if i == len(sizes)-2 {
-			act = output
+	acts := make([]Activation, len(sizes)-1)
+	for i := range acts {
+		if i == len(acts)-1 {
+			acts[i] = output
+		} else {
+			acts[i] = hidden
 		}
-		n.Layers = append(n.Layers, NewLayer(sizes[i], sizes[i+1], act))
+	}
+	return newNetwork(sizes, acts)
+}
+
+// newNetwork assembles a flat-parameter network from explicit per-layer
+// activations (len(acts) == len(sizes)-1).
+func newNetwork(sizes []int, acts []Activation) *Network {
+	var total int
+	for i := 0; i < len(sizes)-1; i++ {
+		if sizes[i] <= 0 || sizes[i+1] <= 0 {
+			panic(fmt.Sprintf("nn: invalid layer shape %d->%d", sizes[i], sizes[i+1]))
+		}
+		total += sizes[i+1]*sizes[i] + sizes[i+1]
+	}
+	n := &Network{params: make([]float64, total)}
+	off := 0
+	for i := 0; i < len(sizes)-1; i++ {
+		span := sizes[i+1]*sizes[i] + sizes[i+1]
+		n.Layers = append(n.Layers, newLayerView(sizes[i], sizes[i+1], acts[i], n.params[off:off+span]))
+		off += span
 	}
 	return n
+}
+
+// Params returns the network's flat parameter vector: every layer's weights
+// (row-major) followed by its biases, concatenated in layer order. The
+// returned slice aliases the live parameters — writes through it move the
+// network, and every Layer's W and B view into it.
+func (n *Network) Params() []float64 { return n.params }
+
+// SetParams overwrites the network's parameters from a flat vector laid out
+// as Params.
+func (n *Network) SetParams(p []float64) {
+	if len(p) != len(n.params) {
+		panic(fmt.Sprintf("nn: SetParams got %d values, network has %d", len(p), len(n.params)))
+	}
+	copy(n.params, p)
 }
 
 // InputDim returns the expected input dimensionality.
@@ -94,19 +164,28 @@ func (n *Network) Sizes() []int {
 }
 
 // NumParams returns the total number of trainable parameters.
-func (n *Network) NumParams() int {
-	var p int
+func (n *Network) NumParams() int { return len(n.params) }
+
+// MaxWidth returns the widest activation the network produces, including
+// the input width — the column bound batch workspaces must accommodate.
+func (n *Network) MaxWidth() int {
+	w := n.InputDim()
 	for _, l := range n.Layers {
-		p += l.NumParams()
+		if l.Outputs > w {
+			w = l.Outputs
+		}
 	}
-	return p
+	return w
 }
 
 // Forward runs the network on x and returns the output vector.
 func (n *Network) Forward(x []float64) []float64 {
 	out := x
 	for _, l := range n.Layers {
-		out, _ = l.Forward(out)
+		next := make([]float64, l.Outputs)
+		pre := make([]float64, l.Outputs)
+		l.forwardInto(out, next, pre)
+		out = next
 	}
 	return out
 }
@@ -124,17 +203,19 @@ func (n *Network) ForwardTrace(x []float64) (acts, pres [][]float64) {
 	return acts, pres
 }
 
+// acts collects the per-layer activations (for rebuilding topologies).
+func (n *Network) acts() []Activation {
+	acts := make([]Activation, len(n.Layers))
+	for i, l := range n.Layers {
+		acts[i] = l.Act
+	}
+	return acts
+}
+
 // Clone returns a deep copy of the network.
 func (n *Network) Clone() *Network {
-	c := &Network{Layers: make([]*Layer, len(n.Layers))}
-	for i, l := range n.Layers {
-		nl := NewLayer(l.Inputs, l.Outputs, l.Act)
-		for r := range l.W {
-			copy(nl.W[r], l.W[r])
-		}
-		copy(nl.B, l.B)
-		c.Layers[i] = nl
-	}
+	c := newNetwork(n.Sizes(), n.acts())
+	copy(c.params, n.params)
 	return c
 }
 
@@ -149,11 +230,8 @@ func (n *Network) CopyWeightsFrom(src *Network) {
 		if l.Inputs != sl.Inputs || l.Outputs != sl.Outputs {
 			panic("nn: layer shape mismatch in CopyWeightsFrom")
 		}
-		for r := range l.W {
-			copy(l.W[r], sl.W[r])
-		}
-		copy(l.B, sl.B)
 	}
+	copy(n.params, src.params)
 }
 
 // Initializer seeds a network's weights before training. The paper notes
@@ -173,7 +251,8 @@ func (u UniformInit) Init(n *Network, src *rng.Source) {
 		s = 0.5
 	}
 	for _, l := range n.Layers {
-		for _, row := range l.W {
+		for o := 0; o < l.Outputs; o++ {
+			row := l.W.Row(o)
 			for j := range row {
 				row[j] = src.Uniform(-s, s)
 			}
@@ -193,7 +272,8 @@ type XavierInit struct{}
 func (XavierInit) Init(n *Network, src *rng.Source) {
 	for _, l := range n.Layers {
 		limit := math.Sqrt(6 / float64(l.Inputs+l.Outputs))
-		for _, row := range l.W {
+		for o := 0; o < l.Outputs; o++ {
+			row := l.W.Row(o)
 			for j := range row {
 				row[j] = src.Uniform(-limit, limit)
 			}

@@ -10,7 +10,8 @@ import (
 
 func TestLayerForwardHandChecked(t *testing.T) {
 	l := NewLayer(2, 1, Identity{})
-	l.W[0][0], l.W[0][1] = 2, -1
+	l.W.Set(0, 0, 2)
+	l.W.Set(0, 1, -1)
 	l.B[0] = 0.5
 	out, pre := l.Forward([]float64{3, 4})
 	// 2*3 - 1*4 + 0.5 = 2.5
@@ -21,7 +22,7 @@ func TestLayerForwardHandChecked(t *testing.T) {
 
 func TestLayerForwardAppliesActivation(t *testing.T) {
 	l := NewLayer(1, 1, Logistic{Alpha: 1})
-	l.W[0][0] = 1
+	l.W.Set(0, 0, 1)
 	out, pre := l.Forward([]float64{0})
 	if pre[0] != 0 || out[0] != 0.5 {
 		t.Fatalf("activation not applied: out %v pre %v", out, pre)
@@ -89,7 +90,7 @@ func TestCloneIndependent(t *testing.T) {
 	UniformInit{Scale: 1}.Init(n, src)
 	c := n.Clone()
 	before := n.Forward([]float64{1, 1})[0]
-	c.Layers[0].W[0][0] = 99
+	c.Layers[0].W.Set(0, 0, 99)
 	after := n.Forward([]float64{1, 1})[0]
 	if before != after {
 		t.Fatal("Clone shares weights")
@@ -127,11 +128,9 @@ func TestUniformInitBounds(t *testing.T) {
 	n := NewNetwork([]int{3, 5, 2}, Tanh{}, Identity{})
 	UniformInit{Scale: 0.25}.Init(n, rng.New(8))
 	for _, l := range n.Layers {
-		for _, row := range l.W {
-			for _, w := range row {
-				if math.Abs(w) > 0.25 {
-					t.Fatalf("weight %v outside scale", w)
-				}
+		for _, w := range l.W.Data {
+			if math.Abs(w) > 0.25 {
+				t.Fatalf("weight %v outside scale", w)
 			}
 		}
 	}
@@ -148,10 +147,8 @@ func TestXavierInitZeroBiases(t *testing.T) {
 		}
 		// Weights non-trivial.
 		var sum float64
-		for _, row := range l.W {
-			for _, w := range row {
-				sum += math.Abs(w)
-			}
+		for _, w := range l.W.Data {
+			sum += math.Abs(w)
 		}
 		if sum == 0 {
 			t.Fatal("Xavier left weights at zero")

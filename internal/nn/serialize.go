@@ -7,7 +7,9 @@ import (
 )
 
 // networkJSON is the on-disk representation of a Network. Activations are
-// stored by Name() so slope parameters round-trip.
+// stored by Name() so slope parameters round-trip. The format predates the
+// flat-parameter refactor — weights serialize as nested rows — and is kept
+// stable so previously saved models keep loading.
 type networkJSON struct {
 	Layers []layerJSON `json:"layers"`
 }
@@ -24,11 +26,15 @@ type layerJSON struct {
 func (n *Network) Save(w io.Writer) error {
 	doc := networkJSON{}
 	for _, l := range n.Layers {
+		rows := make([][]float64, l.Outputs)
+		for o := range rows {
+			rows[o] = l.W.Row(o)
+		}
 		doc.Layers = append(doc.Layers, layerJSON{
 			Inputs:     l.Inputs,
 			Outputs:    l.Outputs,
 			Activation: l.Act.Name(),
-			W:          l.W,
+			W:          rows,
 			B:          l.B,
 		})
 	}
@@ -37,7 +43,8 @@ func (n *Network) Save(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
-// Load reads a network previously written by Save.
+// Load reads a network previously written by Save, including files written
+// before the flat-parameter refactor.
 func Load(r io.Reader) (*Network, error) {
 	var doc networkJSON
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
@@ -46,7 +53,10 @@ func Load(r io.Reader) (*Network, error) {
 	if len(doc.Layers) == 0 {
 		return nil, fmt.Errorf("nn: network file contains no layers")
 	}
-	n := &Network{}
+	// Validate the whole topology first, then assemble one flat-parameter
+	// network and copy the weights into its views.
+	sizes := make([]int, 0, len(doc.Layers)+1)
+	acts := make([]Activation, 0, len(doc.Layers))
 	prevOut := -1
 	for i, lj := range doc.Layers {
 		act, err := ActivationByName(lj.Activation)
@@ -62,16 +72,25 @@ func Load(r io.Reader) (*Network, error) {
 		if len(lj.W) != lj.Outputs || len(lj.B) != lj.Outputs {
 			return nil, fmt.Errorf("nn: layer %d weight/bias rows do not match outputs", i)
 		}
-		l := NewLayer(lj.Inputs, lj.Outputs, act)
 		for r := range lj.W {
 			if len(lj.W[r]) != lj.Inputs {
 				return nil, fmt.Errorf("nn: layer %d weight row %d has %d entries, want %d", i, r, len(lj.W[r]), lj.Inputs)
 			}
-			copy(l.W[r], lj.W[r])
+		}
+		if prevOut == -1 {
+			sizes = append(sizes, lj.Inputs)
+		}
+		sizes = append(sizes, lj.Outputs)
+		acts = append(acts, act)
+		prevOut = lj.Outputs
+	}
+	n := newNetwork(sizes, acts)
+	for i, lj := range doc.Layers {
+		l := n.Layers[i]
+		for r := range lj.W {
+			copy(l.W.Row(r), lj.W[r])
 		}
 		copy(l.B, lj.B)
-		n.Layers = append(n.Layers, l)
-		prevOut = lj.Outputs
 	}
 	return n, nil
 }

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+// TestGoldenNetworkRoundTrip loads the committed fixture written by the
+// pre-flat-weights implementation (nested [][]float64 rows) and checks the
+// flat-parameter loader reproduces its predictions bit-for-bit. This pins
+// on-disk format compatibility across the memory-layout refactor.
+func TestGoldenNetworkRoundTrip(t *testing.T) {
+	f, err := os.Open("testdata/golden_network.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	net, err := Load(f)
+	if err != nil {
+		t.Fatalf("golden network no longer loads: %v", err)
+	}
+	if net.InputDim() != 4 || net.OutputDim() != 3 {
+		t.Fatalf("golden network dims %d->%d", net.InputDim(), net.OutputDim())
+	}
+	if net.Layers[0].Act.Name() != "logistic(1.5)" {
+		t.Fatalf("golden activation lost: %s", net.Layers[0].Act.Name())
+	}
+
+	raw, err := os.ReadFile("testdata/golden_network_predictions.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Probes      [][]float64 `json:"probes"`
+		Predictions [][]float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Probes) == 0 {
+		t.Fatal("golden fixture has no probes")
+	}
+	for i, x := range doc.Probes {
+		got := net.Forward(x)
+		for j, want := range doc.Predictions[i] {
+			if math.Abs(got[j]-want) > 1e-15 {
+				t.Fatalf("probe %d output %d: got %v, golden %v", i, j, got[j], want)
+			}
+		}
+	}
+
+	// Saving the loaded network and loading it again must also round-trip.
+	tmp, err := os.CreateTemp(t.TempDir(), "net*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Save(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range doc.Probes {
+		got := back.Forward(x)
+		for j, want := range doc.Predictions[i] {
+			if got[j] != want {
+				t.Fatalf("re-saved probe %d output %d: got %v, golden %v", i, j, got[j], want)
+			}
+		}
+	}
+}

@@ -54,21 +54,29 @@ type Grid struct {
 	Z     [][]float64
 }
 
-// Evaluate runs the model over the slice's grid.
+// Evaluate runs the model over the slice's grid. All grid points are
+// materialized and pushed through core.PredictAll, so batch-capable models
+// evaluate the whole surface in one forward pass.
 func Evaluate(p core.Predictor, s Slice, inputDim, outputDim int) (*Grid, error) {
 	if err := s.Validate(inputDim, outputDim); err != nil {
 		return nil, err
 	}
-	z := make([][]float64, len(s.XValues))
-	x := make([]float64, inputDim)
-	for i, xv := range s.XValues {
-		z[i] = make([]float64, len(s.YValues))
-		for j, yv := range s.YValues {
+	rows := make([][]float64, 0, len(s.XValues)*len(s.YValues))
+	for _, xv := range s.XValues {
+		for _, yv := range s.YValues {
+			x := make([]float64, inputDim)
 			copy(x, s.Fixed)
 			x[s.XIndex] = xv
 			x[s.YIndex] = yv
-			out := p.Predict(x)
-			z[i][j] = out[s.Output]
+			rows = append(rows, x)
+		}
+	}
+	outs := core.PredictAll(p, rows)
+	z := make([][]float64, len(s.XValues))
+	for i := range s.XValues {
+		z[i] = make([]float64, len(s.YValues))
+		for j := range s.YValues {
+			z[i][j] = outs[i*len(s.YValues)+j][s.Output]
 		}
 	}
 	return &Grid{Slice: s, Z: z}, nil

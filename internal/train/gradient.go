@@ -4,77 +4,75 @@
 // momentum, RPROP, Adam), epoch management, and the early-stopping
 // ("termination threshold") control the paper uses in §3.3 to keep the
 // model loosely fitted and flexible on unseen samples.
+//
+// Gradients mirror the network's flat parameter vector: one contiguous
+// []float64 laid out exactly like nn.Network.Params, with per-layer matrix
+// views for code that wants shaped access. The batched entry points
+// (BackpropBatch, LossBatch) process whole sample matrices against
+// preallocated workspaces and perform zero per-sample allocation.
 package train
 
 import (
 	"fmt"
 
+	"nnwc/internal/mat"
 	"nnwc/internal/nn"
 )
 
-// Gradients holds ∂E/∂w and ∂E/∂b for every layer of a network, in the
-// same shapes as the network's parameters.
+// Gradients holds ∂E/∂w and ∂E/∂b for every layer of a network in one flat
+// vector with the same layout as nn.Network.Params: per layer, the weight
+// gradients (row-major, Outputs × Inputs) followed by the bias gradients.
+// DW and DB are views into Flat.
 type Gradients struct {
-	DW [][][]float64 // layer → output → input
-	DB [][]float64   // layer → output
+	Flat []float64
+	DW   []*mat.Matrix // layer → Outputs × Inputs weight-gradient view
+	DB   [][]float64   // layer → Outputs bias-gradient view
 }
 
 // NewGradients allocates zeroed gradients shaped like net.
 func NewGradients(net *nn.Network) *Gradients {
 	g := &Gradients{
-		DW: make([][][]float64, len(net.Layers)),
-		DB: make([][]float64, len(net.Layers)),
+		Flat: make([]float64, net.NumParams()),
+		DW:   make([]*mat.Matrix, len(net.Layers)),
+		DB:   make([][]float64, len(net.Layers)),
 	}
+	off := 0
 	for i, l := range net.Layers {
-		g.DW[i] = make([][]float64, l.Outputs)
-		for o := range g.DW[i] {
-			g.DW[i][o] = make([]float64, l.Inputs)
-		}
-		g.DB[i] = make([]float64, l.Outputs)
+		wspan := l.Outputs * l.Inputs
+		g.DW[i] = &mat.Matrix{Rows: l.Outputs, Cols: l.Inputs, Data: g.Flat[off : off+wspan]}
+		g.DB[i] = g.Flat[off+wspan : off+wspan+l.Outputs]
+		off += wspan + l.Outputs
 	}
 	return g
 }
 
 // Zero resets all gradient entries.
 func (g *Gradients) Zero() {
-	for i := range g.DW {
-		for o := range g.DW[i] {
-			for j := range g.DW[i][o] {
-				g.DW[i][o][j] = 0
-			}
-		}
-		for o := range g.DB[i] {
-			g.DB[i][o] = 0
-		}
+	for i := range g.Flat {
+		g.Flat[i] = 0
 	}
 }
 
 // AddScaled accumulates s*other into g.
 func (g *Gradients) AddScaled(s float64, other *Gradients) {
-	for i := range g.DW {
-		for o := range g.DW[i] {
-			for j := range g.DW[i][o] {
-				g.DW[i][o][j] += s * other.DW[i][o][j]
-			}
-		}
-		for o := range g.DB[i] {
-			g.DB[i][o] += s * other.DB[i][o]
-		}
-	}
+	mat.AXPY(s, other.Flat, g.Flat)
 }
 
 // Scale multiplies every gradient entry by s.
 func (g *Gradients) Scale(s float64) {
-	for i := range g.DW {
-		for o := range g.DW[i] {
-			for j := range g.DW[i][o] {
-				g.DW[i][o][j] *= s
-			}
-		}
-		for o := range g.DB[i] {
-			g.DB[i][o] *= s
-		}
+	for i := range g.Flat {
+		g.Flat[i] *= s
 	}
+}
+
+// Workspace holds the reusable buffers batched training needs: the forward
+// activation trace plus two delta matrices. The zero value is ready to use;
+// buffers grow on demand and steady-state epochs allocate nothing. A
+// workspace must not be shared between concurrent goroutines.
+type Workspace struct {
+	fw     nn.BatchWorkspace
+	delta  mat.Matrix
+	delta2 mat.Matrix
 }
 
 // Backprop computes the squared-error loss E = ½‖ŷ − y‖² for one sample
@@ -104,7 +102,7 @@ func Backprop(net *nn.Network, x, y []float64, out *Gradients) float64 {
 		for o := 0; o < layer.Outputs; o++ {
 			d := delta[o]
 			out.DB[li][o] = d
-			row := out.DW[li][o]
+			row := out.DW[li].Row(o)
 			for j, xv := range in {
 				row[j] = d * xv
 			}
@@ -116,14 +114,100 @@ func Backprop(net *nn.Network, x, y []float64, out *Gradients) float64 {
 		nextDelta := make([]float64, prev.Outputs)
 		for j := 0; j < prev.Outputs; j++ {
 			var s float64
+			wcol := layer.W
 			for o := 0; o < layer.Outputs; o++ {
-				s += delta[o] * layer.W[o][j]
+				s += delta[o] * wcol.At(o, j)
 			}
 			nextDelta[j] = s * prev.Act.Deriv(pres[li-1][j], acts[li][j])
 		}
 		delta = nextDelta
 	}
 	return loss
+}
+
+// BackpropBatch runs one batched forward/backward pass over every row of
+// X/Y and overwrites out with scale × the sum of the per-sample gradients
+// (accumulated in ascending row order with the same rounding as the
+// per-sample path, so scale = 1/N reproduces the classic mean-gradient
+// epoch bit-for-bit). It returns the summed per-sample loss Σᵣ ½‖ŷᵣ − yᵣ‖².
+// Steady-state calls perform zero per-sample allocation.
+func BackpropBatch(net *nn.Network, X, Y *mat.Matrix, scale float64, ws *Workspace, out *Gradients) float64 {
+	if X.Rows != Y.Rows {
+		panic(fmt.Sprintf("train: batch has %d inputs but %d targets", X.Rows, Y.Rows))
+	}
+	if Y.Cols != net.OutputDim() {
+		panic(fmt.Sprintf("train: targets have %d columns, network outputs %d", Y.Cols, net.OutputDim()))
+	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	acts, pres := net.ForwardTraceBatch(X, &ws.fw)
+	batch := X.Rows
+	last := len(net.Layers) - 1
+	lastLayer := net.Layers[last]
+	pred := acts[last+1]
+
+	// Output-layer deltas and total loss, sample by sample in row order.
+	delta := ws.delta.Reshape(batch, lastLayer.Outputs)
+	var total float64
+	for r := 0; r < batch; r++ {
+		prow, yrow, drow := pred.Row(r), Y.Row(r), delta.Row(r)
+		var loss float64
+		for i := range drow {
+			diff := prow[i] - yrow[i]
+			loss += 0.5 * diff * diff
+			drow[i] = diff
+		}
+		nn.ScaleByDeriv(lastLayer.Act, pres[last].Row(r), prow, drow)
+		total += loss
+	}
+
+	// Walk the layers backwards: accumulate scaled gradients over the batch
+	// and propagate deltas. For each parameter the accumulation order over
+	// samples matches the per-sample path (t := d·x, then += scale·t).
+	out.Zero()
+	cur, next := &ws.delta, &ws.delta2
+	for li := last; li >= 0; li-- {
+		layer := net.Layers[li]
+		in := acts[li]
+		dw, db := out.DW[li], out.DB[li]
+		dwd := dw.Data
+		for r := 0; r < batch; r++ {
+			drow := cur.Row(r)
+			xrow := in.Row(r)
+			off := 0
+			for o, d := range drow {
+				db[o] += scale * d
+				row := dwd[off : off+len(xrow)]
+				off += layer.Inputs
+				for j, xv := range xrow {
+					t := d * xv
+					row[j] += scale * t
+				}
+			}
+		}
+		if li == 0 {
+			break
+		}
+		prev := net.Layers[li-1]
+		nd := next.Reshape(batch, prev.Outputs)
+		wd := layer.W.Data
+		for r := 0; r < batch; r++ {
+			drow := cur.Row(r)
+			ndrow := nd.Row(r)
+			for j := range ndrow {
+				ndrow[j] = 0
+			}
+			off := 0
+			for _, d := range drow {
+				mat.AXPY(d, wd[off:off+layer.Inputs], ndrow)
+				off += layer.Inputs
+			}
+			nn.ScaleByDeriv(prev.Act, pres[li-1].Row(r), acts[li].Row(r), ndrow)
+		}
+		cur, next = next, cur
+	}
+	return total
 }
 
 // Loss returns the mean squared-error loss of net over the given rows,
@@ -141,4 +225,29 @@ func Loss(net *nn.Network, xs, ys [][]float64) float64 {
 		}
 	}
 	return total / float64(len(xs))
+}
+
+// LossBatch returns the mean squared-error loss of net over the rows of
+// X/Y using ws's buffers — the allocation-free batched counterpart of Loss,
+// with identical accumulation order.
+func LossBatch(net *nn.Network, X, Y *mat.Matrix, ws *Workspace) float64 {
+	if X.Rows == 0 {
+		return 0
+	}
+	if X.Rows != Y.Rows {
+		panic(fmt.Sprintf("train: batch has %d inputs but %d targets", X.Rows, Y.Rows))
+	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	pred := net.ForwardBatch(X, &ws.fw)
+	var total float64
+	for r := 0; r < X.Rows; r++ {
+		prow, yrow := pred.Row(r), Y.Row(r)
+		for j, p := range prow {
+			d := p - yrow[j]
+			total += 0.5 * d * d
+		}
+	}
+	return total / float64(X.Rows)
 }

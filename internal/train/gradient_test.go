@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"nnwc/internal/mat"
 	"nnwc/internal/nn"
 	"nnwc/internal/rng"
 )
@@ -52,13 +53,16 @@ func TestBackpropMatchesNumericalGradient(t *testing.T) {
 
 		for li, l := range net.Layers {
 			for o := 0; o < l.Outputs; o++ {
+				row := l.W.Row(o)
 				for i := 0; i < l.Inputs; i++ {
-					want := numericalGradient(net, x, y, func() *float64 { return &l.W[o][i] })
-					got := g.DW[li][o][i]
+					i := i
+					want := numericalGradient(net, x, y, func() *float64 { return &row[i] })
+					got := g.DW[li].At(o, i)
 					if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
 						t.Fatalf("%s: dW[%d][%d][%d] = %v, numeric %v", act.Name(), li, o, i, got, want)
 					}
 				}
+				o := o
 				want := numericalGradient(net, x, y, func() *float64 { return &l.B[o] })
 				got := g.DB[li][o]
 				if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
@@ -69,9 +73,189 @@ func TestBackpropMatchesNumericalGradient(t *testing.T) {
 	}
 }
 
+// TestBackpropBatchMatchesNumericalGradient repeats the keystone check for
+// the batched path: the mean gradient over a small batch must match
+// central-difference estimates of the mean loss.
+func TestBackpropBatchMatchesNumericalGradient(t *testing.T) {
+	src := rng.New(43)
+	net := nn.NewNetwork([]int{3, 5, 4, 2}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	data := rng.New(17)
+	const batch = 6
+	X, Y := mat.New(batch, 3), mat.New(batch, 2)
+	for i := range X.Data {
+		X.Data[i] = data.Uniform(-1, 1)
+	}
+	for i := range Y.Data {
+		Y.Data[i] = data.Uniform(-1, 1)
+	}
+	xs, ys := make([][]float64, batch), make([][]float64, batch)
+	for r := 0; r < batch; r++ {
+		xs[r], ys[r] = X.Row(r), Y.Row(r)
+	}
+
+	var ws Workspace
+	g := NewGradients(net)
+	total := BackpropBatch(net, X, Y, 1.0/batch, &ws, g)
+	if want := Loss(net, xs, ys) * batch; math.Abs(total-want) > 1e-12*(1+want) {
+		t.Fatalf("summed loss %v, per-sample total %v", total, want)
+	}
+
+	meanLoss := func() float64 { return Loss(net, xs, ys) }
+	numeric := func(p *float64) float64 {
+		const h = 1e-6
+		orig := *p
+		*p = orig + h
+		up := meanLoss()
+		*p = orig - h
+		down := meanLoss()
+		*p = orig
+		return (up - down) / (2 * h)
+	}
+	params := net.Params()
+	for i := range params {
+		want := numeric(&params[i])
+		got := g.Flat[i]
+		if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("flat gradient %d = %v, numeric %v", i, got, want)
+		}
+	}
+}
+
+// TestBackpropBatchMatchesPerSample is the batched-vs-per-sample
+// equivalence keystone for the backward pass: accumulating per-sample
+// Backprop gradients with the classic AddScaled(1/N) loop must agree with
+// one BackpropBatch call to within 1e-12 (the kernels share the rounding
+// order, so the match is in fact bit-exact).
+func TestBackpropBatchMatchesPerSample(t *testing.T) {
+	activations := []nn.Activation{nn.Logistic{Alpha: 1.5}, nn.Tanh{}, nn.LogCompress{}}
+	for _, act := range activations {
+		src := rng.New(44)
+		net := nn.NewNetwork([]int{4, 7, 5, 3}, act, nn.Identity{})
+		nn.XavierInit{}.Init(net, src)
+		data := rng.New(23)
+		const batch = 41
+		X, Y := mat.New(batch, 4), mat.New(batch, 3)
+		for i := range X.Data {
+			X.Data[i] = data.Uniform(-2, 2)
+		}
+		for i := range Y.Data {
+			Y.Data[i] = data.Uniform(-1, 1)
+		}
+
+		// Reference: the pre-refactor epoch loop.
+		sample := NewGradients(net)
+		ref := NewGradients(net)
+		var refLoss float64
+		for r := 0; r < batch; r++ {
+			refLoss += Backprop(net, X.Row(r), Y.Row(r), sample)
+			ref.AddScaled(1.0/batch, sample)
+		}
+
+		var ws Workspace
+		got := NewGradients(net)
+		gotLoss := BackpropBatch(net, X, Y, 1.0/batch, &ws, got)
+		if math.Abs(gotLoss-refLoss) > 1e-12*(1+refLoss) {
+			t.Fatalf("%s: batch loss %v, per-sample %v", act.Name(), gotLoss, refLoss)
+		}
+		for i := range ref.Flat {
+			if math.Abs(got.Flat[i]-ref.Flat[i]) > 1e-12*(1+math.Abs(ref.Flat[i])) {
+				t.Fatalf("%s: gradient %d: batch %v, per-sample %v",
+					act.Name(), i, got.Flat[i], ref.Flat[i])
+			}
+		}
+	}
+}
+
+// TestBackpropBatchBitIdenticalToPerSample pins the stronger property the
+// trainer's reproducibility depends on: with scale = 1/N the batched path
+// reproduces the per-sample accumulation loop bit-for-bit, not just within
+// tolerance.
+func TestBackpropBatchBitIdenticalToPerSample(t *testing.T) {
+	src := rng.New(45)
+	net := nn.NewNetwork([]int{4, 9, 2}, nn.Logistic{Alpha: 1}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	data := rng.New(29)
+	const batch = 30
+	X, Y := mat.New(batch, 4), mat.New(batch, 2)
+	for i := range X.Data {
+		X.Data[i] = data.Uniform(-1.5, 1.5)
+	}
+	for i := range Y.Data {
+		Y.Data[i] = data.Uniform(-1, 1)
+	}
+
+	sample := NewGradients(net)
+	ref := NewGradients(net)
+	for r := 0; r < batch; r++ {
+		Backprop(net, X.Row(r), Y.Row(r), sample)
+		ref.AddScaled(1.0/batch, sample)
+	}
+	var ws Workspace
+	got := NewGradients(net)
+	BackpropBatch(net, X, Y, 1.0/batch, &ws, got)
+	for i := range ref.Flat {
+		if got.Flat[i] != ref.Flat[i] {
+			t.Fatalf("gradient %d not bit-identical: batch %x, per-sample %x",
+				i, math.Float64bits(got.Flat[i]), math.Float64bits(ref.Flat[i]))
+		}
+	}
+}
+
+func TestBackpropBatchZeroAlloc(t *testing.T) {
+	src := rng.New(46)
+	net := nn.NewNetwork([]int{4, 16, 5}, nn.Logistic{Alpha: 1}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	X, Y := mat.New(64, 4), mat.New(64, 5)
+	for i := range X.Data {
+		X.Data[i] = src.Uniform(-1, 1)
+	}
+	for i := range Y.Data {
+		Y.Data[i] = src.Uniform(-1, 1)
+	}
+	var ws Workspace
+	g := NewGradients(net)
+	BackpropBatch(net, X, Y, 1.0/64, &ws, g) // warm buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		BackpropBatch(net, X, Y, 1.0/64, &ws, g)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state BackpropBatch allocates %v objects/op", allocs)
+	}
+	LossBatch(net, X, Y, &ws)
+	allocs = testing.AllocsPerRun(50, func() {
+		LossBatch(net, X, Y, &ws)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state LossBatch allocates %v objects/op", allocs)
+	}
+}
+
+func TestLossBatchMatchesLoss(t *testing.T) {
+	src := rng.New(47)
+	net := nn.NewNetwork([]int{3, 8, 2}, nn.Tanh{}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	const n = 19
+	xs, ys := make([][]float64, n), make([][]float64, n)
+	for i := range xs {
+		xs[i] = []float64{src.Uniform(-1, 1), src.Uniform(-1, 1), src.Uniform(-1, 1)}
+		ys[i] = []float64{src.Uniform(-1, 1), src.Uniform(-1, 1)}
+	}
+	X, Y := mat.FromRows(xs), mat.FromRows(ys)
+	var ws Workspace
+	if got, want := LossBatch(net, X, Y, &ws), Loss(net, xs, ys); got != want {
+		t.Fatalf("LossBatch %v, Loss %v", got, want)
+	}
+	empty := X.RowRange(0, 0)
+	emptyY := Y.RowRange(0, 0)
+	if LossBatch(net, &empty, &emptyY, &ws) != 0 {
+		t.Fatal("empty LossBatch should be 0")
+	}
+}
+
 func TestBackpropReturnsLoss(t *testing.T) {
 	net := nn.NewNetwork([]int{1, 1}, nn.Identity{}, nn.Identity{})
-	net.Layers[0].W[0][0] = 2
+	net.Layers[0].W.Set(0, 0, 2)
 	g := NewGradients(net)
 	// pred = 2*3 = 6, y = 4 → loss = 0.5*(6-4)^2 = 2.
 	loss := Backprop(net, []float64{3}, []float64{4}, g)
@@ -79,8 +263,8 @@ func TestBackpropReturnsLoss(t *testing.T) {
 		t.Fatalf("loss %v, want 2", loss)
 	}
 	// dL/dw = (pred-y)*x = 2*3 = 6; dL/db = 2.
-	if math.Abs(g.DW[0][0][0]-6) > 1e-12 || math.Abs(g.DB[0][0]-2) > 1e-12 {
-		t.Fatalf("gradients %v / %v", g.DW[0][0][0], g.DB[0][0])
+	if math.Abs(g.DW[0].At(0, 0)-6) > 1e-12 || math.Abs(g.DB[0][0]-2) > 1e-12 {
+		t.Fatalf("gradients %v / %v", g.DW[0].At(0, 0), g.DB[0][0])
 	}
 }
 
@@ -94,6 +278,26 @@ func TestBackpropShapePanics(t *testing.T) {
 	Backprop(net, []float64{1, 2}, []float64{1, 2}, NewGradients(net))
 }
 
+func TestGradientsFlatLayoutMatchesParams(t *testing.T) {
+	net := nn.NewNetwork([]int{2, 3, 1}, nn.Tanh{}, nn.Identity{})
+	g := NewGradients(net)
+	if len(g.Flat) != net.NumParams() {
+		t.Fatalf("flat gradient length %d, NumParams %d", len(g.Flat), net.NumParams())
+	}
+	for i := range g.Flat {
+		g.Flat[i] = float64(i)
+	}
+	// Same layout as TestParamsLayout in package nn: layer 0 weights occupy
+	// indices 0..5, its biases 6..8, layer 1 weights 9..11, bias 12.
+	if g.DW[0].At(0, 1) != 1 || g.DB[0][2] != 8 || g.DW[1].At(0, 0) != 9 || g.DB[1][0] != 12 {
+		t.Fatalf("gradient views misaligned with flat layout: %v", g.Flat)
+	}
+	g.DB[1][0] = -3
+	if g.Flat[12] != -3 {
+		t.Fatal("gradient views do not alias Flat")
+	}
+}
+
 func TestGradientsZeroAndAddScaled(t *testing.T) {
 	net := nn.NewNetwork([]int{2, 3, 1}, nn.Tanh{}, nn.Identity{})
 	nn.XavierInit{}.Init(net, rng.New(1))
@@ -101,31 +305,24 @@ func TestGradientsZeroAndAddScaled(t *testing.T) {
 	b := NewGradients(net)
 	Backprop(net, []float64{1, -1}, []float64{0.5}, a)
 	b.AddScaled(2, a)
-	if b.DW[0][0][0] != 2*a.DW[0][0][0] {
+	if b.DW[0].At(0, 0) != 2*a.DW[0].At(0, 0) {
 		t.Fatal("AddScaled wrong")
 	}
 	b.Scale(0.5)
-	if math.Abs(b.DW[0][0][0]-a.DW[0][0][0]) > 1e-15 {
+	if math.Abs(b.DW[0].At(0, 0)-a.DW[0].At(0, 0)) > 1e-15 {
 		t.Fatal("Scale wrong")
 	}
 	b.Zero()
-	for li := range b.DW {
-		for o := range b.DW[li] {
-			for i := range b.DW[li][o] {
-				if b.DW[li][o][i] != 0 {
-					t.Fatal("Zero left residue")
-				}
-			}
-			if b.DB[li][o] != 0 {
-				t.Fatal("Zero left bias residue")
-			}
+	for _, v := range b.Flat {
+		if v != 0 {
+			t.Fatal("Zero left residue")
 		}
 	}
 }
 
 func TestLossMeanSemantics(t *testing.T) {
 	net := nn.NewNetwork([]int{1, 1}, nn.Identity{}, nn.Identity{})
-	net.Layers[0].W[0][0] = 1
+	net.Layers[0].W.Set(0, 0, 1)
 	xs := [][]float64{{1}, {2}}
 	ys := [][]float64{{0}, {0}}
 	// losses: 0.5*1, 0.5*4 → mean 1.25
@@ -146,5 +343,27 @@ func BenchmarkBackprop4x16x5(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Backprop(net, x, y, g)
+	}
+}
+
+// BenchmarkBackpropBatch4x16x5 processes 64 samples per op through the
+// batched kernel; divide ns/op by 64 to compare with the per-sample bench.
+func BenchmarkBackpropBatch4x16x5(b *testing.B) {
+	src := rng.New(1)
+	net := nn.NewNetwork([]int{4, 16, 5}, nn.Logistic{Alpha: 1}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	X, Y := mat.New(64, 4), mat.New(64, 5)
+	for i := range X.Data {
+		X.Data[i] = src.Uniform(-1, 1)
+	}
+	for i := range Y.Data {
+		Y.Data[i] = src.Uniform(-1, 1)
+	}
+	var ws Workspace
+	g := NewGradients(net)
+	BackpropBatch(net, X, Y, 1.0/64, &ws, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BackpropBatch(net, X, Y, 1.0/64, &ws, g)
 	}
 }

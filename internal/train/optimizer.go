@@ -7,6 +7,8 @@ import (
 )
 
 // Optimizer applies an accumulated gradient to a network's parameters.
+// All optimizers walk the network's flat parameter vector against the
+// gradient's flat vector — one contiguous loop, no per-layer bookkeeping.
 // Stateful optimizers (momentum, RPROP, Adam) lazily size their state to
 // the first network they see and must not be reused across topologies.
 type Optimizer interface {
@@ -27,14 +29,9 @@ type SGD struct {
 // Step implements Optimizer.
 func (s *SGD) Step(net *nn.Network, g *Gradients) {
 	lr := s.LR
-	for li, l := range net.Layers {
-		for o := range l.W {
-			row, grow := l.W[o], g.DW[li][o]
-			for j := range row {
-				row[j] -= lr * grow[j]
-			}
-			l.B[o] -= lr * g.DB[li][o]
-		}
+	p := net.Params()
+	for i, gv := range g.Flat {
+		p[i] -= lr * gv
 	}
 }
 
@@ -48,24 +45,18 @@ func (s *SGD) Name() string { return "sgd" }
 // v ← μ·v − LR·g; w ← w + v.
 type Momentum struct {
 	LR, Mu float64
-	vel    *Gradients
+	vel    []float64
 }
 
 // Step implements Optimizer.
 func (m *Momentum) Step(net *nn.Network, g *Gradients) {
+	p := net.Params()
 	if m.vel == nil {
-		m.vel = NewGradients(net)
+		m.vel = make([]float64, len(p))
 	}
-	for li, l := range net.Layers {
-		for o := range l.W {
-			row, grow, vrow := l.W[o], g.DW[li][o], m.vel.DW[li][o]
-			for j := range row {
-				vrow[j] = m.Mu*vrow[j] - m.LR*grow[j]
-				row[j] += vrow[j]
-			}
-			m.vel.DB[li][o] = m.Mu*m.vel.DB[li][o] - m.LR*g.DB[li][o]
-			l.B[o] += m.vel.DB[li][o]
-		}
+	for i, gv := range g.Flat {
+		m.vel[i] = m.Mu*m.vel[i] - m.LR*gv
+		p[i] += m.vel[i]
 	}
 }
 
@@ -83,8 +74,7 @@ type RPROP struct {
 	EtaPlus, EtaMinus float64 // step growth/shrink factors (1.2 / 0.5)
 	StepInit          float64 // initial step (0.1)
 	StepMin, StepMax  float64 // step clamps (1e-6 / 50)
-	step, prev        *Gradients
-	initialized       bool
+	step, prev        []float64
 }
 
 // NewRPROP returns an RPROP optimizer with the canonical constants.
@@ -94,48 +84,35 @@ func NewRPROP() *RPROP {
 
 // Step implements Optimizer. g must be a full-batch gradient.
 func (r *RPROP) Step(net *nn.Network, g *Gradients) {
-	if !r.initialized {
-		r.step = NewGradients(net)
-		r.prev = NewGradients(net)
-		for li := range r.step.DW {
-			for o := range r.step.DW[li] {
-				for j := range r.step.DW[li][o] {
-					r.step.DW[li][o][j] = r.StepInit
-				}
-				r.step.DB[li][o] = r.StepInit
-			}
+	p := net.Params()
+	if r.step == nil {
+		r.step = make([]float64, len(p))
+		r.prev = make([]float64, len(p))
+		for i := range r.step {
+			r.step[i] = r.StepInit
 		}
-		r.initialized = true
 	}
-	update := func(w *float64, grad float64, prevGrad, step *float64) {
-		sign := grad * *prevGrad
+	for i, grad := range g.Flat {
+		sign := grad * r.prev[i]
 		switch {
 		case sign > 0:
-			*step = math.Min(*step*r.EtaPlus, r.StepMax)
-			*w -= sgn(grad) * *step
-			*prevGrad = grad
+			r.step[i] = math.Min(r.step[i]*r.EtaPlus, r.StepMax)
+			p[i] -= sgn(grad) * r.step[i]
+			r.prev[i] = grad
 		case sign < 0:
-			*step = math.Max(*step*r.EtaMinus, r.StepMin)
+			r.step[i] = math.Max(r.step[i]*r.EtaMinus, r.StepMin)
 			// iRPROP−: do not move, forget the gradient so the next
 			// iteration takes a fresh step.
-			*prevGrad = 0
+			r.prev[i] = 0
 		default:
-			*w -= sgn(grad) * *step
-			*prevGrad = grad
-		}
-	}
-	for li, l := range net.Layers {
-		for o := range l.W {
-			for j := range l.W[o] {
-				update(&l.W[o][j], g.DW[li][o][j], &r.prev.DW[li][o][j], &r.step.DW[li][o][j])
-			}
-			update(&l.B[o], g.DB[li][o], &r.prev.DB[li][o], &r.step.DB[li][o])
+			p[i] -= sgn(grad) * r.step[i]
+			r.prev[i] = grad
 		}
 	}
 }
 
 // Reset implements Optimizer.
-func (r *RPROP) Reset() { r.initialized = false; r.step, r.prev = nil, nil }
+func (r *RPROP) Reset() { r.step, r.prev = nil, nil }
 
 // Name implements Optimizer.
 func (r *RPROP) Name() string { return "rprop" }
@@ -155,7 +132,7 @@ func sgn(x float64) float64 {
 // modern reference point.
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
-	m, v                  *Gradients
+	m, v                  []float64
 	t                     int
 }
 
@@ -167,25 +144,18 @@ func NewAdam(lr float64) *Adam {
 
 // Step implements Optimizer.
 func (a *Adam) Step(net *nn.Network, g *Gradients) {
+	p := net.Params()
 	if a.m == nil {
-		a.m = NewGradients(net)
-		a.v = NewGradients(net)
+		a.m = make([]float64, len(p))
+		a.v = make([]float64, len(p))
 	}
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
-	update := func(w *float64, grad float64, m, v *float64) {
-		*m = a.Beta1**m + (1-a.Beta1)*grad
-		*v = a.Beta2**v + (1-a.Beta2)*grad*grad
-		*w -= a.LR * (*m / c1) / (math.Sqrt(*v/c2) + a.Eps)
-	}
-	for li, l := range net.Layers {
-		for o := range l.W {
-			for j := range l.W[o] {
-				update(&l.W[o][j], g.DW[li][o][j], &a.m.DW[li][o][j], &a.v.DW[li][o][j])
-			}
-			update(&l.B[o], g.DB[li][o], &a.m.DB[li][o], &a.v.DB[li][o])
-		}
+	for i, grad := range g.Flat {
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*grad
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*grad*grad
+		p[i] -= a.LR * (a.m[i] / c1) / (math.Sqrt(a.v[i]/c2) + a.Eps)
 	}
 }
 

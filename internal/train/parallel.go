@@ -2,84 +2,97 @@ package train
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"nnwc/internal/mat"
 	"nnwc/internal/nn"
 )
 
-// workerScratch is one worker's reusable accumulators, allocated lazily on
-// the first parallel epoch and reused for the rest of the run.
-type workerScratch struct {
-	acc    *Gradients
-	sample *Gradients
-	loss   float64
-	used   bool
+// Parallel gradient accumulation works on fixed sample blocks rather than
+// per-worker shards: the batch is cut into numBlocks(n) contiguous blocks
+// whose boundaries depend only on the sample count, workers pull block
+// indices from a shared counter, and the per-block partial gradients merge
+// serially in ascending block order. Because neither the block geometry nor
+// the reduction order depends on the worker count or on scheduling, the
+// accumulated gradient — and therefore the trained network — is
+// bit-identical across runs and across any Workers > 1 setting.
+
+// numBlocks picks the block count for an n-sample batch: roughly 32 samples
+// per block, clamped to [1, 16]. A pure function of n so the floating-point
+// reduction tree never changes shape.
+func numBlocks(n int) int {
+	nb := n / 32
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > 16 {
+		nb = 16
+	}
+	return nb
 }
 
-// shapeMatches reports whether g is shaped like net's parameters, so a
-// Trainer reused across different topologies reallocates its scratch.
-func shapeMatches(g *Gradients, net *nn.Network) bool {
-	if g == nil || len(g.DW) != len(net.Layers) {
-		return false
-	}
-	for li, l := range net.Layers {
-		if len(g.DW[li]) != l.Outputs || len(g.DB[li]) != l.Outputs {
-			return false
-		}
-		if l.Outputs > 0 && len(g.DW[li][0]) != l.Inputs {
-			return false
-		}
-	}
-	return true
+// parallelScratch holds the per-block gradient accumulators and per-worker
+// workspaces for parallel batch epochs, allocated lazily on the first
+// parallel epoch and reused for the rest of the run.
+type parallelScratch struct {
+	blocks  []*Gradients // one accumulator per sample block
+	losses  []float64    // per-block summed sample loss
+	wss     []Workspace  // one forward/backward workspace per worker
+	nparams int          // shape guard for Trainer reuse across topologies
 }
 
-// parallelBatch accumulates the full-batch gradient across Workers
-// goroutines. Backprop only reads the network's weights, so the workers
-// share net; each owns a contiguous shard of samples and private gradient
-// accumulators. Shard partials merge into out in shard order, making a
-// fixed worker count fully deterministic (different counts may differ in
-// the last bits through floating-point summation order). Returns the mean
-// per-sample loss.
-func (t *Trainer) parallelBatch(net *nn.Network, xs, ys [][]float64, out *Gradients) float64 {
+// parallelBatch accumulates the full-batch mean gradient across worker
+// goroutines and writes it into out. Backprop only reads the network's
+// weights, so workers share net; each block owns private accumulators.
+// Returns the mean per-sample loss.
+func (t *Trainer) parallelBatch(net *nn.Network, X, Y *mat.Matrix, out *Gradients) float64 {
+	n := X.Rows
+	nb := numBlocks(n)
 	workers := t.cfg.Workers
-	if len(t.scratch) != workers || !shapeMatches(t.scratch[0].acc, net) {
-		t.scratch = make([]workerScratch, workers)
-		for w := range t.scratch {
-			t.scratch[w].acc = NewGradients(net)
-			t.scratch[w].sample = NewGradients(net)
-		}
+	if workers > nb {
+		workers = nb
 	}
-	n := len(xs)
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		sc := &t.scratch[w]
-		sc.used = lo < hi
-		if !sc.used {
-			continue
+	sc := &t.parallel
+	if sc.nparams != net.NumParams() || len(sc.blocks) < nb {
+		sc.blocks = make([]*Gradients, nb)
+		for b := range sc.blocks {
+			sc.blocks[b] = NewGradients(net)
 		}
-		wg.Add(1)
-		go func(sc *workerScratch, lo, hi int) {
+		sc.losses = make([]float64, nb)
+		sc.nparams = net.NumParams()
+	}
+	if len(sc.wss) < workers {
+		sc.wss = make([]Workspace, workers)
+	}
+
+	invN := 1 / float64(n)
+	var nextBlock int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(ws *Workspace) {
 			defer wg.Done()
-			sc.acc.Zero()
-			sc.loss = 0
-			for i := lo; i < hi; i++ {
-				sc.loss += Backprop(net, xs[i], ys[i], sc.sample)
-				sc.acc.AddScaled(1, sc.sample)
+			for {
+				b := int(atomic.AddInt64(&nextBlock, 1)) - 1
+				if b >= nb {
+					return
+				}
+				lo, hi := b*n/nb, (b+1)*n/nb
+				bx, by := X.RowRange(lo, hi), Y.RowRange(lo, hi)
+				sc.losses[b] = BackpropBatch(net, &bx, &by, invN, ws, sc.blocks[b])
 			}
-		}(sc, lo, hi)
+		}(&sc.wss[w])
 	}
 	wg.Wait()
 
+	// Serial reduction in ascending block order: the only float summation
+	// whose order could depend on scheduling, pinned here instead.
 	out.Zero()
 	var total float64
-	for w := range t.scratch {
-		if !t.scratch[w].used {
-			continue
-		}
-		out.AddScaled(1/float64(n), t.scratch[w].acc)
-		total += t.scratch[w].loss
+	for b := 0; b < nb; b++ {
+		out.AddScaled(1, sc.blocks[b])
+		total += sc.losses[b]
 	}
-	return total / float64(n)
+	return total * invN
 }

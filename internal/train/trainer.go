@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"nnwc/internal/mat"
 	"nnwc/internal/nn"
 	"nnwc/internal/rng"
 )
@@ -75,10 +76,12 @@ type Config struct {
 	WeightDecay float64
 
 	// Workers splits Batch-mode gradient accumulation across this many
-	// goroutines (0 or 1 = serial). Results are deterministic for a fixed
-	// worker count: each worker owns a contiguous sample shard and the
-	// shard sums merge in shard order. Different worker counts may differ
-	// in the last few bits (floating-point summation order). Ignored in
+	// goroutines (0 or 1 = serial). The sample matrix is cut into blocks
+	// whose boundaries depend only on the sample count, and block partial
+	// gradients merge in block order — so for a fixed seed the result is
+	// bit-identical across runs AND across worker counts. (The serial path
+	// accumulates the whole batch in one sweep and may differ from the
+	// blocked reduction in the last floating-point bits.) Ignored in
 	// Online mode, which is inherently sequential.
 	Workers int
 }
@@ -118,7 +121,10 @@ type Trainer struct {
 	cfg Config
 	src *rng.Source
 
-	scratch []workerScratch // reusable parallel-batch accumulators
+	ws       Workspace       // batched forward/backward buffers (serial + validation)
+	X, Y     mat.Matrix      // contiguous copies of the training rows
+	VX, VY   mat.Matrix      // contiguous copies of the validation rows
+	parallel parallelScratch // block-sharded accumulators for Workers > 1
 }
 
 // New returns a Trainer with the given configuration and random source
@@ -160,17 +166,28 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 	}
 	t.cfg.Optimizer.Reset()
 
+	// One contiguous copy of the dataset up front; every epoch after this
+	// runs against preallocated matrices and workspaces.
+	t.X.CopyRows(xs)
+	t.Y.CopyRows(ys)
+	if hasVal {
+		t.VX.CopyRows(valX)
+		t.VY.CopyRows(valY)
+	}
+
 	sampleGrad := NewGradients(net)
 	batchGrad := NewGradients(net)
 	order := make([]int, len(xs))
 	for i := range order {
 		order[i] = i
 	}
+	n := len(xs)
+	invN := 1 / float64(n)
 
 	res := Result{ValLoss: math.NaN()}
 	best := math.Inf(1)
 	bestEpoch := 0
-	var bestNet *nn.Network
+	var bestParams []float64
 
 	record := func(epoch int, trainLoss, valLoss float64) {
 		every := t.cfg.RecordEvery
@@ -186,15 +203,10 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 		var trainLoss float64
 		switch t.cfg.Mode {
 		case Batch:
-			if t.cfg.Workers > 1 && len(xs) >= 2*t.cfg.Workers {
-				trainLoss = t.parallelBatch(net, xs, ys, batchGrad)
+			if t.cfg.Workers > 1 && n >= 2*t.cfg.Workers {
+				trainLoss = t.parallelBatch(net, &t.X, &t.Y, batchGrad)
 			} else {
-				batchGrad.Zero()
-				for i := range xs {
-					trainLoss += Backprop(net, xs[i], ys[i], sampleGrad)
-					batchGrad.AddScaled(1/float64(len(xs)), sampleGrad)
-				}
-				trainLoss /= float64(len(xs))
+				trainLoss = BackpropBatch(net, &t.X, &t.Y, invN, &t.ws, batchGrad) * invN
 			}
 			applyWeightDecay(net, batchGrad, t.cfg.WeightDecay)
 			t.cfg.Optimizer.Step(net, batchGrad)
@@ -205,14 +217,14 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 				applyWeightDecay(net, sampleGrad, t.cfg.WeightDecay)
 				t.cfg.Optimizer.Step(net, sampleGrad)
 			}
-			trainLoss /= float64(len(xs))
+			trainLoss /= float64(n)
 		default:
 			return Result{}, fmt.Errorf("train: unknown mode %v", t.cfg.Mode)
 		}
 
 		valLoss := math.NaN()
 		if hasVal {
-			valLoss = Loss(net, valX, valY)
+			valLoss = LossBatch(net, &t.VX, &t.VY, &t.ws)
 		}
 		record(epoch, trainLoss, valLoss)
 		res.Epochs = epoch
@@ -231,12 +243,12 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 			if valLoss < best-t.cfg.MinDelta {
 				best = valLoss
 				bestEpoch = epoch
-				bestNet = net.Clone()
+				bestParams = append(bestParams[:0], net.Params()...)
 			} else if epoch-bestEpoch >= t.cfg.Patience {
-				if bestNet != nil {
-					net.CopyWeightsFrom(bestNet)
+				if bestParams != nil {
+					net.SetParams(bestParams)
 					res.ValLoss = best
-					res.FinalLoss = Loss(net, xs, ys)
+					res.FinalLoss = LossBatch(net, &t.X, &t.Y, &t.ws)
 				}
 				res.Reason = StopEarly
 				return res, nil
@@ -244,10 +256,10 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 		}
 	}
 	res.Reason = StopMaxEpochs
-	if bestNet != nil && hasVal && best < res.ValLoss {
-		net.CopyWeightsFrom(bestNet)
+	if bestParams != nil && hasVal && best < res.ValLoss {
+		net.SetParams(bestParams)
 		res.ValLoss = best
-		res.FinalLoss = Loss(net, xs, ys)
+		res.FinalLoss = LossBatch(net, &t.X, &t.Y, &t.ws)
 	}
 	return res, nil
 }
@@ -260,11 +272,6 @@ func applyWeightDecay(net *nn.Network, g *Gradients, lambda float64) {
 		return
 	}
 	for li, l := range net.Layers {
-		for o := range l.W {
-			row, grow := l.W[o], g.DW[li][o]
-			for j := range row {
-				grow[j] += lambda * row[j]
-			}
-		}
+		mat.AddScaledInto(g.DW[li], lambda, l.W)
 	}
 }

@@ -61,7 +61,7 @@ func TestOnlineSGDLearnsLinear(t *testing.T) {
 	if res.FinalLoss > 1e-6 {
 		t.Fatalf("linear fit did not converge: loss %v", res.FinalLoss)
 	}
-	if w := net.Layers[0].W[0][0]; math.Abs(w-2) > 0.01 {
+	if w := net.Layers[0].W.At(0, 0); math.Abs(w-2) > 0.01 {
 		t.Fatalf("learned slope %v, want 2", w)
 	}
 	if b := net.Layers[0].B[0]; math.Abs(b+1) > 0.01 {
@@ -285,7 +285,7 @@ func TestRPROPResetClearsState(t *testing.T) {
 	r := NewRPROP()
 	r.Step(net, g)
 	r.Reset()
-	if r.initialized || r.step != nil || r.prev != nil {
+	if r.step != nil || r.prev != nil {
 		t.Fatal("Reset left state")
 	}
 }
@@ -326,10 +326,8 @@ func TestWeightDecayShrinksWeights(t *testing.T) {
 	norm := func(net *nn.Network) float64 {
 		var s float64
 		for _, l := range net.Layers {
-			for _, row := range l.W {
-				for _, w := range row {
-					s += w * w
-				}
+			for _, w := range l.W.Data {
+				s += w * w
 			}
 		}
 		return s
@@ -367,9 +365,9 @@ func TestWeightDecayZeroIsNoop(t *testing.T) {
 	nn.XavierInit{}.Init(net, src)
 	g := NewGradients(net)
 	Backprop(net, []float64{1}, []float64{0.5}, g)
-	before := g.DW[0][0][0]
+	before := g.DW[0].At(0, 0)
 	applyWeightDecay(net, g, 0)
-	if g.DW[0][0][0] != before {
+	if g.DW[0].At(0, 0) != before {
 		t.Fatal("decay 0 modified the gradient")
 	}
 }
