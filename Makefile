@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench ci clean
+.PHONY: all build vet test race bench-smoke bench bench-json ci clean
 
 all: ci
 
@@ -24,6 +24,12 @@ bench-smoke:
 # Real measurement run for the hot training kernels (see DESIGN.md §6).
 bench:
 	$(GO) test -run '^$$' -bench 'Forward|Backprop|Epoch' -benchmem -benchtime 2s ./internal/nn ./internal/train
+
+# Machine-readable benchmark of the parallel experiment plane (see
+# DESIGN.md §7): CV folds, ensembles, and surface grids at workers=1 and
+# workers=NumCPU, with speedups, written to BENCH_experiments.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_experiments.json
 
 ci: build vet race bench-smoke
 

@@ -1,0 +1,245 @@
+// Command benchjson benchmarks the parallel experiment plane and emits a
+// machine-readable JSON report (BENCH_experiments.json). It measures the
+// three hot paths the scheduler parallelizes — k-fold cross-validation,
+// ensemble training, and surface-grid evaluation — at each requested
+// worker count, then derives speedups relative to workers=1.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_experiments.json] [-workers 1,4] [-quick]
+//
+// The default worker set is {1, 4, NumCPU} deduplicated, so a single run
+// records both the serial baseline and the parallel gain on the host. All
+// benchmarked paths are deterministic: every worker count produces
+// bit-identical results, which this command re-verifies before timing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nnwc/internal/core"
+	"nnwc/internal/rng"
+	"nnwc/internal/surface"
+	"nnwc/internal/train"
+	"nnwc/internal/workload"
+)
+
+// entry is one benchmark measurement at one worker count.
+type entry struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+}
+
+type report struct {
+	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Quick      bool    `json:"quick"`
+	Entries    []entry `json:"entries"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_experiments.json", "output JSON path")
+		quick   = flag.Bool("quick", false, "smaller dataset and training budget (CI smoke)")
+		workers = flag.String("workers", "", "comma-separated worker counts (default: 1,4,NumCPU deduplicated)")
+	)
+	flag.Parse()
+
+	counts, err := workerCounts(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+
+	samples, epochs := 160, 600
+	if *quick {
+		samples, epochs = 60, 120
+	}
+	ds := syntheticDataset(samples, 7)
+	cfg := benchConfig(epochs)
+
+	if err := verifyDeterminism(ds, cfg, counts); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: determinism check failed:", err)
+		os.Exit(1)
+	}
+
+	model, err := core.Fit(ds, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	sl := benchSlice()
+
+	rep := report{NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0), Quick: *quick}
+	benches := []struct {
+		name string
+		run  func(w int) func(b *testing.B)
+	}{
+		{"crossval_k5", func(w int) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.CrossValidateWorkers(ds, cfg, 5, 42, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"ensemble_n5", func(w int) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.FitEnsembleWorkers(ds, cfg, 5, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"surface_grid", func(w int) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := surface.EvaluateWorkers(model, sl, model.InputDim(), model.OutputDim(), w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
+
+	for _, bench := range benches {
+		var serial float64
+		for _, w := range counts {
+			r := testing.Benchmark(bench.run(w))
+			e := entry{
+				Name:        bench.name,
+				Workers:     w,
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+			}
+			if w == 1 {
+				serial = float64(r.NsPerOp())
+			}
+			if serial > 0 && r.NsPerOp() > 0 {
+				e.Speedup = round2(serial / float64(r.NsPerOp()))
+			}
+			rep.Entries = append(rep.Entries, e)
+			fmt.Printf("%-14s workers=%-3d %12d ns/op %10d B/op %8d allocs/op  x%.2f\n",
+				bench.name, w, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Speedup)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
+}
+
+// workerCounts parses the -workers list, defaulting to {1, 4, NumCPU}
+// deduplicated and sorted with 1 always first (it is the baseline the
+// speedups divide by).
+func workerCounts(spec string) ([]int, error) {
+	set := map[int]bool{1: true}
+	if spec == "" {
+		set[4] = true
+		set[runtime.NumCPU()] = true
+	} else {
+		for _, part := range strings.Split(spec, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad -workers entry %q", part)
+			}
+			set[n] = true
+		}
+	}
+	counts := make([]int, 0, len(set))
+	for n := range set {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	return counts, nil
+}
+
+// benchConfig trains for a fixed epoch budget: TargetLoss 0 disables early
+// stopping so every fold and member costs the same, keeping the benchmark's
+// work per op independent of convergence luck.
+func benchConfig(epochs int) core.Config {
+	tc := train.DefaultConfig()
+	tc.MaxEpochs = epochs
+	tc.TargetLoss = 0
+	return core.Config{Hidden: []int{10}, Train: &tc, Seed: 1}
+}
+
+// syntheticDataset samples the same smooth non-linear 2→2 function the
+// core tests learn, avoiding the three-tier simulator's cost so the
+// benchmark isolates the training and evaluation planes.
+func syntheticDataset(n int, seed uint64) *workload.Dataset {
+	src := rng.New(seed)
+	ds := workload.NewDataset([]string{"a", "b"}, []string{"u", "v"})
+	for i := 0; i < n; i++ {
+		a, b := src.Uniform(-2, 2), src.Uniform(-2, 2)
+		ds.MustAppend(workload.Sample{
+			X: []float64{a, b},
+			Y: []float64{10 + 3*a*a - b, 5 + math.Sin(a) + 2*b},
+		})
+	}
+	return ds
+}
+
+func benchSlice() surface.Slice {
+	return surface.Slice{
+		Fixed:   []float64{0, 0},
+		XIndex:  0,
+		YIndex:  1,
+		XValues: surface.Linspace(-2, 2, 48),
+		YValues: surface.Linspace(-2, 2, 48),
+		Output:  0,
+	}
+}
+
+// verifyDeterminism confirms the scheduler's core guarantee before timing:
+// cross-validation averages are bit-identical at every benchmarked worker
+// count.
+func verifyDeterminism(ds *workload.Dataset, cfg core.Config, counts []int) error {
+	ref, err := core.CrossValidateWorkers(ds, cfg, 5, 42, 1)
+	if err != nil {
+		return err
+	}
+	for _, w := range counts[1:] {
+		got, err := core.CrossValidateWorkers(ds, cfg, 5, 42, w)
+		if err != nil {
+			return err
+		}
+		for j := range ref.Averages {
+			if got.Averages[j] != ref.Averages[j] {
+				return fmt.Errorf("workers=%d average[%d] = %v, workers=1 gave %v", w, j, got.Averages[j], ref.Averages[j])
+			}
+		}
+	}
+	return nil
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }

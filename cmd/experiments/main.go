@@ -4,30 +4,37 @@
 // Usage:
 //
 //	experiments [-run all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8|baseline|extrapolation|recommend]
-//	            [-out results] [-seed N] [-quick]
+//	            [-out results] [-seed N] [-quick] [-workers N]
 //
 // Reports print to stdout; CSV artifacts land in the output directory.
+// Independent runs (CV folds, ensemble members, sweep cells, surface rows)
+// execute on a deterministic worker pool; -workers bounds its concurrency
+// and the outputs are bit-identical at every setting.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"nnwc/internal/experiments"
+	"nnwc/internal/sched"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment id, or 'all'")
-		out   = flag.String("out", "results", "directory for CSV artifacts")
-		seed  = flag.Uint64("seed", 2006, "master seed for data collection and training")
-		quick = flag.Bool("quick", false, "scaled-down settings (for smoke runs)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		run     = flag.String("run", "all", "experiment id, or 'all'")
+		out     = flag.String("out", "results", "directory for CSV artifacts")
+		seed    = flag.Uint64("seed", 2006, "master seed for data collection and training")
+		quick   = flag.Bool("quick", false, "scaled-down settings (for smoke runs)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent workers for parallel phases (results are identical at any setting)")
 	)
 	flag.Parse()
+	sched.SetWorkers(*workers)
 
 	if *list {
 		for _, r := range experiments.All() {
@@ -41,6 +48,7 @@ func main() {
 		ctx = experiments.NewQuick(os.Stdout, *out)
 	}
 	ctx.Seed = *seed
+	ctx.Workers = *workers
 
 	var runners []experiments.Runner
 	if *run == "all" {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"nnwc/internal/core"
+	"nnwc/internal/sched"
 	"nnwc/internal/sensitivity"
 )
 
@@ -15,7 +16,9 @@ func cmdImportance(args []string) error {
 	data := fs.String("data", "data.csv", "dataset the importance is computed on")
 	repeats := fs.Int("repeats", 5, "permutation repeats")
 	seed := fs.Uint64("seed", 7, "permutation seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
+	sched.SetWorkers(*workers)
 
 	model, err := loadModel(*modelPath)
 	if err != nil {
@@ -25,7 +28,7 @@ func cmdImportance(args []string) error {
 	if err != nil {
 		return err
 	}
-	im, err := sensitivity.PermutationImportance(model, ds, sensitivity.Options{Repeats: *repeats, Seed: *seed})
+	im, err := sensitivity.PermutationImportance(model, ds, sensitivity.Options{Repeats: *repeats, Seed: *seed, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -52,7 +55,9 @@ func cmdSelect(args []string) error {
 	epochs := fs.Int("epochs", 1000, "training epochs per candidate")
 	seed := fs.Uint64("seed", 13, "seed")
 	layouts := fs.String("candidates", "4;8;16;32;16,8", "semicolon-separated hidden layouts (each comma-separated)")
+	workers := workersFlag(fs)
 	fs.Parse(args)
+	sched.SetWorkers(*workers)
 
 	ds, err := loadDataset(*data)
 	if err != nil {

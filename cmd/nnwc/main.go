@@ -7,11 +7,16 @@
 //
 //	nnwc datagen   -out data.csv [-seed N] [-rates 480,560,640] [-mfg 8,16,24] [-web 8,...] [-default 2,...] [-replicates 1]
 //	nnwc train     -data data.csv -model model.json [-hidden 16] [-epochs 2000] [-seed N]
-//	nnwc crossval  -data data.csv [-k 5] [-hidden 16] [-seed N]
+//	nnwc crossval  -data data.csv [-k 5] [-hidden 16] [-seed N] [-workers N]
 //	nnwc predict   -model model.json -x 560,8,16,18
-//	nnwc surface   -model model.json -output 4 [-fixed 560,0,16,0] [-xi 1] [-yi 3] [-xrange 2:16:8] [-yrange 8:24:9]
+//	nnwc surface   -model model.json -output 4 [-fixed 560,0,16,0] [-xi 1] [-yi 3] [-xrange 2:16:8] [-yrange 8:24:9] [-workers N]
 //	nnwc recommend -model model.json [-maximize 4] [-bounds 140,80,60,65,inf]
-//	nnwc compare   -data data.csv [-k 5]
+//	nnwc compare   -data data.csv [-k 5] [-workers N]
+//
+// Subcommands with parallel phases (crossval, compare, surface, select,
+// importance) accept -workers (default GOMAXPROCS) to bound the
+// deterministic scheduler's concurrency; outputs are bit-identical at
+// every setting.
 package main
 
 import (

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -15,12 +16,20 @@ import (
 	"nnwc/internal/poly"
 	"nnwc/internal/recommend"
 	"nnwc/internal/rng"
+	"nnwc/internal/sched"
 	"nnwc/internal/stats"
 	"nnwc/internal/surface"
 	"nnwc/internal/threetier"
 	"nnwc/internal/train"
 	"nnwc/internal/workload"
 )
+
+// workersFlag registers -workers on subcommands with parallel phases
+// (fold training, family sweeps, grid evaluation). The value bounds the
+// deterministic scheduler's concurrency; results never depend on it.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", runtime.GOMAXPROCS(0), "max concurrent workers for parallel phases (results are identical at any setting)")
+}
 
 // parseFloats parses "a,b,c" into floats ("inf" allowed).
 func parseFloats(s string) ([]float64, error) {
@@ -201,7 +210,9 @@ func cmdCrossval(args []string) error {
 	hidden := fs.String("hidden", "16", "hidden layer sizes")
 	epochs := fs.Int("epochs", 2000, "max training epochs")
 	seed := fs.Uint64("seed", 99, "shuffle/init seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
+	sched.SetWorkers(*workers)
 
 	ds, err := loadDataset(*data)
 	if err != nil {
@@ -211,7 +222,7 @@ func cmdCrossval(args []string) error {
 	if err != nil {
 		return err
 	}
-	cv, err := core.CrossValidate(ds, cfg, *k, *seed)
+	cv, err := core.CrossValidateWorkers(ds, cfg, *k, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -270,7 +281,9 @@ func cmdSurface(args []string) error {
 	xr := fs.String("xrange", "2:16:8", "x grid lo:hi:n")
 	yr := fs.String("yrange", "8:24:9", "y grid lo:hi:n")
 	csvOut := fs.String("csv", "", "optional CSV output path")
+	workers := workersFlag(fs)
 	fs.Parse(args)
+	sched.SetWorkers(*workers)
 
 	model, err := loadModel(*modelPath)
 	if err != nil {
@@ -289,7 +302,7 @@ func cmdSurface(args []string) error {
 		return err
 	}
 	sl := surface.Slice{Fixed: fixedVec, XIndex: *xi, YIndex: *yi, XValues: xs, YValues: ys, Output: *output}
-	grid, err := surface.Evaluate(model, sl, model.InputDim(), model.OutputDim())
+	grid, err := surface.EvaluateWorkers(model, sl, model.InputDim(), model.OutputDim(), *workers)
 	if err != nil {
 		return err
 	}
@@ -401,7 +414,9 @@ func cmdCompare(args []string) error {
 	hidden := fs.String("hidden", "16", "MLP hidden sizes")
 	epochs := fs.Int("epochs", 2000, "MLP training epochs")
 	seed := fs.Uint64("seed", 99, "seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
+	sched.SetWorkers(*workers)
 
 	ds, err := loadDataset(*data)
 	if err != nil {
@@ -448,20 +463,29 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Every (family, fold) cell fits independently; fan the grid out and
+	// reduce each family's folds in ascending order afterwards.
+	cells, err := sched.Map(*workers, len(fams)**k, func(idx int) (float64, error) {
+		fi, f := idx / *k, idx%*k
+		trainSet, valSet := shuffled.TrainValidation(folds, f)
+		model, err := fams[fi].fit(trainSet, *seed+uint64(f))
+		if err != nil {
+			return 0, fmt.Errorf("%s fold %d: %w", fams[fi].name, f+1, err)
+		}
+		ev, err := core.Evaluate(model, valSet)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Mean(ev.HMRE), nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%-12s %12s\n", "model", "mean HMRE")
-	for _, fm := range fams {
+	for fi, fm := range fams {
 		var errSum float64
 		for f := 0; f < *k; f++ {
-			trainSet, valSet := shuffled.TrainValidation(folds, f)
-			model, err := fm.fit(trainSet, *seed+uint64(f))
-			if err != nil {
-				return fmt.Errorf("%s fold %d: %w", fm.name, f+1, err)
-			}
-			ev, err := core.Evaluate(model, valSet)
-			if err != nil {
-				return err
-			}
-			errSum += stats.Mean(ev.HMRE)
+			errSum += cells[fi**k+f]
 		}
 		fmt.Printf("%-12s %11.2f%%\n", fm.name, errSum/float64(*k)*100)
 	}

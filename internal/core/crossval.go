@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nnwc/internal/rng"
+	"nnwc/internal/sched"
 	"nnwc/internal/stats"
 	"nnwc/internal/workload"
 )
@@ -34,13 +35,24 @@ func (r *CVResult) OverallError() float64 { return stats.Mean(r.Averages) }
 // (reported as "an average prediction accuracy of 95%").
 func (r *CVResult) OverallAccuracy() float64 { return 1 - r.OverallError() }
 
-// CrossValidate performs k-fold cross-validation per §3.3: the shuffled
-// dataset is divided into k equal folds; for each trial one fold is held
-// out for validation and the rest train the model. The paper hand-tuned
-// the node count and termination threshold on the first trial and reused
-// them for the rest — here cfg plays that role for every trial, with
-// per-trial seeds derived from cfg.Seed.
+// CrossValidate performs k-fold cross-validation per §3.3 on the
+// scheduler's default worker count; see CrossValidateWorkers.
 func CrossValidate(ds *workload.Dataset, cfg Config, k int, seed uint64) (*CVResult, error) {
+	return CrossValidateWorkers(ds, cfg, k, seed, 0)
+}
+
+// CrossValidateWorkers performs k-fold cross-validation per §3.3: the
+// shuffled dataset is divided into k equal folds; for each trial one fold
+// is held out for validation and the rest train the model. The paper
+// hand-tuned the node count and termination threshold on the first trial
+// and reused them for the rest — here cfg plays that role for every trial.
+//
+// Folds train concurrently on up to `workers` goroutines (<= 0 means the
+// scheduler default). Each trial's seed derives from (seed, fold index)
+// and the per-indicator averages reduce in fold order after all folds
+// finish, so the result is bit-identical across worker counts — including
+// the serial path the seed-reference test pins.
+func CrossValidateWorkers(ds *workload.Dataset, cfg Config, k int, seed uint64, workers int) (*CVResult, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("core: cross-validation needs a non-empty dataset")
 	}
@@ -53,27 +65,36 @@ func CrossValidate(ds *workload.Dataset, cfg Config, k int, seed uint64) (*CVRes
 
 	res := &CVResult{
 		TargetNames: append([]string(nil), ds.TargetNames...),
+		Trials:      make([]Trial, k),
 		Averages:    make([]float64, ds.NumTargets()),
 	}
-	for f := 0; f < k; f++ {
+	err = sched.ForEach(sched.Workers(workers), k, func(f int) error {
 		trainSet, valSet := shuffled.TrainValidation(folds, f)
 		trialCfg := cfg
-		trialCfg.Seed = seed + uint64(f)*0x9e3779b9
+		trialCfg.Seed = sched.FoldSeed(seed, f)
 		model, err := Fit(trainSet, trialCfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: trial %d: %w", f+1, err)
+			return fmt.Errorf("core: trial %d: %w", f+1, err)
 		}
 		ev, err := Evaluate(model, valSet)
 		if err != nil {
-			return nil, fmt.Errorf("core: trial %d evaluation: %w", f+1, err)
+			return fmt.Errorf("core: trial %d evaluation: %w", f+1, err)
 		}
-		res.Trials = append(res.Trials, Trial{
+		res.Trials[f] = Trial{
 			Model:  model,
 			Train:  trainSet,
 			Val:    valSet,
 			Errors: ev.HMRE,
-		})
-		for j, e := range ev.HMRE {
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reduce in ascending fold order — the same floating-point summation
+	// order as the historical serial loop, whatever the worker count.
+	for f := 0; f < k; f++ {
+		for j, e := range res.Trials[f].Errors {
 			res.Averages[j] += e / float64(k)
 		}
 	}

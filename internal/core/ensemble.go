@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"nnwc/internal/sched"
 	"nnwc/internal/stats"
 	"nnwc/internal/workload"
 )
@@ -19,22 +20,33 @@ type Ensemble struct {
 	Members []*NNModel
 }
 
-// FitEnsemble trains n members on the same dataset with derived seeds.
+// FitEnsemble trains n members on the same dataset with derived seeds on
+// the scheduler's default worker count; see FitEnsembleWorkers.
 func FitEnsemble(ds *workload.Dataset, cfg Config, n int) (*Ensemble, error) {
+	return FitEnsembleWorkers(ds, cfg, n, 0)
+}
+
+// FitEnsembleWorkers trains n members concurrently on up to `workers`
+// goroutines (<= 0 means the scheduler default). Member i's seed derives
+// from (cfg.Seed, i), so the trained members are bit-identical across
+// worker counts and to the historical serial loop.
+func FitEnsembleWorkers(ds *workload.Dataset, cfg Config, n, workers int) (*Ensemble, error) {
 	if n < 1 {
 		return nil, errors.New("core: ensemble needs at least one member")
 	}
-	e := &Ensemble{}
-	for i := 0; i < n; i++ {
+	members, err := sched.Map(sched.Workers(workers), n, func(i int) (*NNModel, error) {
 		memberCfg := cfg
-		memberCfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		memberCfg.Seed = sched.TaskSeed(cfg.Seed, i)
 		m, err := Fit(ds, memberCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: training ensemble member %d: %w", i+1, err)
 		}
-		e.Members = append(e.Members, m)
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return e, nil
+	return &Ensemble{Members: members}, nil
 }
 
 // Predict returns the member-mean prediction.

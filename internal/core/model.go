@@ -21,6 +21,7 @@ import (
 	"nnwc/internal/nn"
 	"nnwc/internal/preprocess"
 	"nnwc/internal/rng"
+	"nnwc/internal/sched"
 	"nnwc/internal/train"
 	"nnwc/internal/workload"
 )
@@ -221,16 +222,27 @@ func (m *NNModel) Predict(x []float64) []float64 {
 	return m.YScaler.Inverse(m.Net.Forward(m.XScaler.Transform(x)))
 }
 
+// predictScratch bundles the input matrix and batch workspace one
+// PredictAll call needs. Scratches are pooled so the parallel experiment
+// plane (surface grids, fold evaluations, probe sweeps) reuses buffers
+// across calls and goroutines instead of reallocating per batch.
+type predictScratch struct {
+	X  mat.Matrix
+	ws nn.BatchWorkspace
+}
+
+var predictPool = sched.NewPool(func() *predictScratch { return &predictScratch{} })
+
 // PredictAll maps Predict over rows through one batched forward pass; the
 // per-row results are bit-identical to calling Predict on each row.
 func (m *NNModel) PredictAll(xs [][]float64) [][]float64 {
 	if len(xs) == 0 {
 		return nil
 	}
-	var X mat.Matrix
-	X.CopyRows(preprocess.TransformAll(m.XScaler, xs))
-	var ws nn.BatchWorkspace
-	pred := m.Net.ForwardBatch(&X, &ws)
+	sc := predictPool.Get()
+	defer predictPool.Put(sc)
+	sc.X.CopyRows(preprocess.TransformAll(m.XScaler, xs))
+	pred := m.Net.ForwardBatch(&sc.X, &sc.ws)
 	out := make([][]float64, len(xs))
 	for i := range out {
 		out[i] = m.YScaler.Inverse(pred.Row(i))

@@ -5,6 +5,7 @@ import (
 
 	"nnwc/internal/core"
 	"nnwc/internal/rng"
+	"nnwc/internal/sched"
 	"nnwc/internal/stats"
 	"nnwc/internal/train"
 )
@@ -83,21 +84,31 @@ func (c *Context) RunAblations() error {
 		{"hidden nodes (§3.2)", "32", func() core.Config { cfg := base(); cfg.Hidden = []int{32}; return cfg }()},
 	}
 
+	// Every variant trains independently; fan them out and report in row
+	// order. Seeds are fixed per row up front, so the table is identical
+	// at any worker count.
+	scores, err := sched.Map(c.workers(), len(rows), func(i int) (float64, error) {
+		e, err := score(rows[i].cfg)
+		if err != nil {
+			return 0, fmt.Errorf("experiments: ablation %s/%s: %w", rows[i].axis, rows[i].variant, err)
+		}
+		return e, nil
+	})
+	if err != nil {
+		return err
+	}
 	c.printf("Ablations — validation error (mean HMRE) on a fixed 80/20 split\n")
 	c.printf("%-22s %-18s %10s\n", "axis", "variant", "error")
 	artifact := [][3]string{}
-	for _, r := range rows {
-		e, err := score(r.cfg)
-		if err != nil {
-			return fmt.Errorf("experiments: ablation %s/%s: %w", r.axis, r.variant, err)
-		}
-		c.printf("%-22s %-18s %9.1f%%\n", r.axis, r.variant, e*100)
-		artifact = append(artifact, [3]string{r.axis, r.variant, fmt.Sprintf("%.4f", e)})
+	for i, r := range rows {
+		c.printf("%-22s %-18s %9.1f%%\n", r.axis, r.variant, scores[i]*100)
+		artifact = append(artifact, [3]string{r.axis, r.variant, fmt.Sprintf("%.4f", scores[i])})
 	}
 
-	// Ensemble-size axis uses the ensemble API rather than plain Fit.
+	// Ensemble-size axis uses the ensemble API rather than plain Fit; the
+	// members train concurrently inside FitEnsembleWorkers.
 	for _, n := range []int{1, 3, 5} {
-		ens, err := core.FitEnsemble(trainSet, base(), n)
+		ens, err := core.FitEnsembleWorkers(trainSet, base(), n, c.Workers)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"nnwc/internal/poly"
 	"nnwc/internal/preprocess"
 	"nnwc/internal/rng"
+	"nnwc/internal/sched"
 	"nnwc/internal/stats"
 	"nnwc/internal/workload"
 )
@@ -103,24 +104,35 @@ func (c *Context) RunBaseline() error {
 	}
 
 	fams := c.families()
+	// Every (fold, family) cell is an independent fit; fan the grid out.
+	// Cell seeds depend only on the fold index, and the per-family
+	// accumulation below runs serially in the historical (fold, family)
+	// order, so the table is bit-identical at any worker count.
+	cells, err := sched.Map(c.workers(), c.Folds*len(fams), func(idx int) ([]float64, error) {
+		f, fi := idx/len(fams), idx%len(fams)
+		trainSet, valSet := shuffled.TrainValidation(folds, f)
+		model, err := fams[fi].fit(trainSet, c.Seed+uint64(f))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline %s fold %d: %w", fams[fi].name, f+1, err)
+		}
+		ev, err := core.Evaluate(model, valSet)
+		if err != nil {
+			return nil, err
+		}
+		return ev.HMRE, nil
+	})
+	if err != nil {
+		return err
+	}
+
 	// errs[f][j] accumulates family f's mean error on indicator j.
 	errs := make([][]float64, len(fams))
 	for i := range errs {
 		errs[i] = make([]float64, ds.NumTargets())
 	}
-
 	for f := 0; f < c.Folds; f++ {
-		trainSet, valSet := shuffled.TrainValidation(folds, f)
-		for fi, fam := range fams {
-			model, err := fam.fit(trainSet, c.Seed+uint64(f))
-			if err != nil {
-				return fmt.Errorf("experiments: baseline %s fold %d: %w", fam.name, f+1, err)
-			}
-			ev, err := core.Evaluate(model, valSet)
-			if err != nil {
-				return err
-			}
-			for j, e := range ev.HMRE {
+		for fi := range fams {
+			for j, e := range cells[f*len(fams)+fi] {
 				errs[fi][j] += e / float64(c.Folds)
 			}
 		}

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"nnwc/internal/core"
+	"nnwc/internal/sched"
 	"nnwc/internal/threetier"
 	"nnwc/internal/train"
 	"nnwc/internal/workload"
@@ -43,6 +44,12 @@ type Context struct {
 	Sweep threetier.SweepSpec
 	Model core.Config
 	Folds int
+
+	// Workers bounds the parallelism of the experiment fan-outs: CV
+	// folds, sweep cells, model families, surface probes (<= 0 means the
+	// scheduler default). Seeds derive from task indices, so reports and
+	// artifacts are bit-identical at every setting.
+	Workers int
 
 	dataset *workload.Dataset
 	cv      *core.CVResult
@@ -96,14 +103,18 @@ func (c *Context) Dataset() (*workload.Dataset, error) {
 	return c.dataset, nil
 }
 
-// CrossValidation runs (or returns the cached) k-fold CV.
+// workers resolves the context's parallelism bound.
+func (c *Context) workers() int { return sched.Workers(c.Workers) }
+
+// CrossValidation runs (or returns the cached) k-fold CV with the folds
+// trained concurrently.
 func (c *Context) CrossValidation() (*core.CVResult, error) {
 	if c.cv == nil {
 		ds, err := c.Dataset()
 		if err != nil {
 			return nil, err
 		}
-		cv, err := core.CrossValidate(ds, c.Model, c.Folds, c.Seed+1)
+		cv, err := core.CrossValidateWorkers(ds, c.Model, c.Folds, c.Seed+1, c.Workers)
 		if err != nil {
 			return nil, err
 		}

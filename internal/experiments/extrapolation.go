@@ -5,6 +5,7 @@ import (
 
 	"nnwc/internal/core"
 	"nnwc/internal/queueing"
+	"nnwc/internal/sched"
 	"nnwc/internal/threetier"
 	"nnwc/internal/workload"
 )
@@ -96,31 +97,45 @@ func (c *Context) extrapolationWorkload() error {
 }
 
 // extrapolationTable fits every family on trainDS and reports in-range
-// (trainDS) vs out-of-range (testDS) error.
+// (trainDS) vs out-of-range (testDS) error. Families fit concurrently;
+// printing replays the results in family order, failures first, exactly
+// as the serial loop emitted them.
 func (c *Context) extrapolationTable(trainDS, testDS *workload.Dataset, artifact string) error {
-	c.printf("%-16s %14s %14s %8s\n", "model", "in-range err", "out-range err", "ratio")
 	type rowOut struct {
 		name    string
+		failed  bool
 		in, out float64
 	}
-	var rows []rowOut
-	for _, fam := range c.families() {
-		model, err := fam.fit(trainDS, c.Seed+5)
+	fams := c.families()
+	results, err := sched.Map(c.workers(), len(fams), func(i int) (rowOut, error) {
+		model, err := fams[i].fit(trainDS, c.Seed+5)
 		if err != nil {
 			// Some families cannot fit tiny datasets (e.g. poly3 on a
 			// single feature with few rows); report and continue.
-			c.printf("%-16s %14s\n", fam.name, "fit failed")
-			continue
+			return rowOut{name: fams[i].name, failed: true}, nil
 		}
 		evIn, err := core.Evaluate(model, trainDS)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
 		evOut, err := core.Evaluate(model, testDS)
 		if err != nil {
-			return err
+			return rowOut{}, err
 		}
-		rows = append(rows, rowOut{fam.name, evIn.MeanHMRE(), evOut.MeanHMRE()})
+		return rowOut{name: fams[i].name, in: evIn.MeanHMRE(), out: evOut.MeanHMRE()}, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	c.printf("%-16s %14s %14s %8s\n", "model", "in-range err", "out-range err", "ratio")
+	var rows []rowOut
+	for _, r := range results {
+		if r.failed {
+			c.printf("%-16s %14s\n", r.name, "fit failed")
+			continue
+		}
+		rows = append(rows, r)
 	}
 	for _, r := range rows {
 		ratio := 0.0

@@ -24,7 +24,7 @@ func (c *Context) RunImportance() error {
 	if err != nil {
 		return err
 	}
-	im, err := sensitivity.PermutationImportance(model, ds, sensitivity.Options{Seed: c.Seed + 40})
+	im, err := sensitivity.PermutationImportance(model, ds, sensitivity.Options{Seed: c.Seed + 40, Workers: c.Workers})
 	if err != nil {
 		return err
 	}

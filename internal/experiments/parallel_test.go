@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runTable2At runs the Table-2 cross-validation experiment at the given
+// worker count and returns the printed report plus the CSV artifact.
+func runTable2At(t *testing.T, workers int) (string, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	c := NewQuick(&buf, dir)
+	c.Sys.WarmupTime = 2
+	c.Sys.MeasureTime = 8
+	c.Workers = workers
+	if err := c.RunTable2(); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), string(csv)
+}
+
+// The experiment harness must print and persist byte-identical results at
+// every worker count: fold seeds derive from fold indices and reductions
+// replay in fold order, so parallelism never leaks into the artifacts.
+func TestRunTable2BitIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment integration test")
+	}
+	refOut, refCSV := runTable2At(t, 1)
+	for _, w := range []int{2, 8} {
+		out, csv := runTable2At(t, w)
+		if out != refOut {
+			t.Fatalf("workers=%d report differs from workers=1:\n--- workers=%d ---\n%s\n--- workers=1 ---\n%s", w, w, out, refOut)
+		}
+		if csv != refCSV {
+			t.Fatalf("workers=%d table2.csv differs from workers=1", w)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"nnwc/internal/core"
 	"nnwc/internal/doe"
+	"nnwc/internal/sched"
 	"nnwc/internal/threetier"
 	"nnwc/internal/workload"
 )
@@ -44,42 +45,60 @@ func (c *Context) RunSampling() error {
 		doe.LatinHypercube{Seed: c.Seed + 511},
 	}
 
-	c.printf("Sampling-design comparison — validation error of the MLP on a common probe set\n")
-	c.printf("%-18s %8s %10s %12s\n", "design", "budget", "samples", "probe err")
+	// Materialize the (design, budget) cells first — the factorial grid
+	// ignores the budget and runs once — then fan the independent
+	// collect+train+score runs out. Each cell's simulator seed depends
+	// only on its budget and its training seed is fixed, so the table is
+	// identical at any worker count.
+	type job struct {
+		design doe.Design
+		budget int
+	}
+	var jobs []job
+	for _, design := range designs {
+		for _, budget := range budgets {
+			if _, isFactorial := design.(doe.FullFactorial); isFactorial && budget != budgets[0] {
+				continue // the grid ignores the budget; run it once
+			}
+			jobs = append(jobs, job{design, budget})
+		}
+	}
 	type row struct {
 		design  string
 		budget  int
 		samples int
 		err     float64
 	}
-	var rows []row
-	for _, design := range designs {
-		for _, budget := range budgets {
-			pts, err := design.Points(budget, len(dims))
-			if err != nil {
-				return err
-			}
-			if _, isFactorial := design.(doe.FullFactorial); isFactorial && budget != budgets[0] {
-				continue // the grid ignores the budget; run it once
-			}
-			trainDS, err := c.collectDesign(pts, dims, c.Seed+600+uint64(budget))
-			if err != nil {
-				return err
-			}
-			cfg := c.Model
-			cfg.Seed = c.Seed + 7
-			model, err := core.Fit(trainDS, cfg)
-			if err != nil {
-				return err
-			}
-			ev, err := core.Evaluate(model, probeDS)
-			if err != nil {
-				return err
-			}
-			r := row{design.Name(), budget, trainDS.Len(), ev.MeanHMRE()}
-			rows = append(rows, r)
-			c.printf("%-18s %8d %10d %11.1f%%\n", r.design, r.budget, r.samples, r.err*100)
+	rows, err := sched.Map(c.workers(), len(jobs), func(i int) (row, error) {
+		j := jobs[i]
+		pts, err := j.design.Points(j.budget, len(dims))
+		if err != nil {
+			return row{}, err
 		}
+		trainDS, err := c.collectDesign(pts, dims, c.Seed+600+uint64(j.budget))
+		if err != nil {
+			return row{}, err
+		}
+		cfg := c.Model
+		cfg.Seed = c.Seed + 7
+		model, err := core.Fit(trainDS, cfg)
+		if err != nil {
+			return row{}, err
+		}
+		ev, err := core.Evaluate(model, probeDS)
+		if err != nil {
+			return row{}, err
+		}
+		return row{j.design.Name(), j.budget, trainDS.Len(), ev.MeanHMRE()}, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	c.printf("Sampling-design comparison — validation error of the MLP on a common probe set\n")
+	c.printf("%-18s %8s %10s %12s\n", "design", "budget", "samples", "probe err")
+	for _, r := range rows {
+		c.printf("%-18s %8d %10d %11.1f%%\n", r.design, r.budget, r.samples, r.err*100)
 	}
 	c.printf("(expected shape: space-filling designs reach lower error per sample than coarse grids)\n\n")
 

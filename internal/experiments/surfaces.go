@@ -5,6 +5,7 @@ import (
 
 	"nnwc/internal/core"
 	"nnwc/internal/plot"
+	"nnwc/internal/sched"
 	"nnwc/internal/stats"
 	"nnwc/internal/surface"
 	"nnwc/internal/threetier"
@@ -75,7 +76,7 @@ func (c *Context) runSurface(title, artifact string, output int, expectation str
 		return err
 	}
 	sl := c.sliceGrid(output)
-	grid, err := surface.Evaluate(model, sl, model.InputDim(), model.OutputDim())
+	grid, err := surface.EvaluateWorkers(model, sl, model.InputDim(), model.OutputDim(), c.Workers)
 	if err != nil {
 		return err
 	}
@@ -111,26 +112,43 @@ func (c *Context) runSurface(title, artifact string, output int, expectation str
 	}
 
 	// Overlay the paper's "dots": ground truth from the simulator at a
-	// coarse subgrid, to report how far the surface sits from reality. The
-	// probe configurations are collected first and predicted in one batch.
-	var actual, predicted []float64
-	var probes [][]float64
+	// coarse subgrid, to report how far the surface sits from reality.
+	// Probe simulations run concurrently — each probe's seed derives from
+	// its grid coordinates, not its schedule — and the predictions go
+	// through one batch.
+	type probe struct{ dv, wv float64 }
+	var probeList []probe
 	for _, dv := range subsample(sl.XValues, 3) {
 		for _, wv := range subsample(sl.YValues, 3) {
-			cfg := threetier.Config{
-				InjectionRate:  sl.Fixed[featRate],
-				DefaultThreads: int(dv + 0.5),
-				MfgThreads:     int(sl.Fixed[featMfg] + 0.5),
-				WebThreads:     int(wv + 0.5),
-			}
-			m, err := threetier.Run(cfg, c.Sys, c.Seed+uint64(dv*100+wv))
-			if err != nil {
-				return err
-			}
-			actual = append(actual, m.Indicators()[output])
-			probes = append(probes, cfg.Vector())
+			probeList = append(probeList, probe{dv, wv})
 		}
 	}
+	actual, err := sched.Map(c.workers(), len(probeList), func(i int) (float64, error) {
+		cfg := threetier.Config{
+			InjectionRate:  sl.Fixed[featRate],
+			DefaultThreads: int(probeList[i].dv + 0.5),
+			MfgThreads:     int(sl.Fixed[featMfg] + 0.5),
+			WebThreads:     int(probeList[i].wv + 0.5),
+		}
+		m, err := threetier.Run(cfg, c.Sys, c.Seed+uint64(probeList[i].dv*100+probeList[i].wv))
+		if err != nil {
+			return 0, err
+		}
+		return m.Indicators()[output], nil
+	})
+	if err != nil {
+		return err
+	}
+	probes := make([][]float64, len(probeList))
+	for i, p := range probeList {
+		probes[i] = threetier.Config{
+			InjectionRate:  sl.Fixed[featRate],
+			DefaultThreads: int(p.dv + 0.5),
+			MfgThreads:     int(sl.Fixed[featMfg] + 0.5),
+			WebThreads:     int(p.wv + 0.5),
+		}.Vector()
+	}
+	var predicted []float64
 	for _, out := range core.PredictAll(model, probes) {
 		predicted = append(predicted, out[output])
 	}

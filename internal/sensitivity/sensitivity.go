@@ -15,6 +15,7 @@ import (
 
 	"nnwc/internal/core"
 	"nnwc/internal/rng"
+	"nnwc/internal/sched"
 	"nnwc/internal/stats"
 	"nnwc/internal/workload"
 )
@@ -37,8 +38,13 @@ func (im *Importance) FeatureTotal(i int) float64 {
 type Options struct {
 	// Repeats averages the permutation over this many shuffles (default 5).
 	Repeats int
-	// Seed drives the permutations.
+	// Seed drives the permutations. Each feature's shuffles draw from a
+	// stream derived from (Seed, feature index), so scores do not depend
+	// on scheduling or worker count.
 	Seed uint64
+	// Workers bounds the concurrency of the per-feature scoring loop
+	// (<= 0 means the scheduler default).
+	Workers int
 }
 
 func (o Options) defaults() Options {
@@ -57,7 +63,6 @@ func PermutationImportance(p core.Predictor, ds *workload.Dataset, opt Options) 
 	opt = opt.defaults()
 	n := ds.NumFeatures()
 	m := ds.NumTargets()
-	src := rng.New(opt.Seed)
 
 	// Baseline RMSE per indicator.
 	base := make([]float64, m)
@@ -85,9 +90,13 @@ func PermutationImportance(p core.Predictor, ds *workload.Dataset, opt Options) 
 		TargetNames:  append([]string(nil), ds.TargetNames...),
 		Scores:       make([][]float64, n),
 	}
-	xbuf := make([]float64, n)
-	for i := 0; i < n; i++ {
-		im.Scores[i] = make([]float64, m)
+	// Features score concurrently; feature i's permutations come from a
+	// stream derived from (Seed, i), so the score matrix is identical at
+	// any worker count.
+	err := sched.ForEach(sched.Workers(opt.Workers), n, func(i int) error {
+		src := rng.New(sched.TaskSeed(opt.Seed, i))
+		xbuf := make([]float64, n)
+		scores := make([]float64, m)
 		col := ds.FeatureColumn(i)
 		for rep := 0; rep < opt.Repeats; rep++ {
 			perm := src.Perm(len(col))
@@ -102,14 +111,19 @@ func PermutationImportance(p core.Predictor, ds *workload.Dataset, opt Options) 
 			}
 			for j := 0; j < m; j++ {
 				rmse := stats.RMSE(actual[j], permPred[j])
-				im.Scores[i][j] += (rmse - base[j]) / base[j] / float64(opt.Repeats)
+				scores[j] += (rmse - base[j]) / base[j] / float64(opt.Repeats)
 			}
 		}
 		for j := 0; j < m; j++ {
-			if im.Scores[i][j] < 0 {
-				im.Scores[i][j] = 0 // permutation noise can dip below zero
+			if scores[j] < 0 {
+				scores[j] = 0 // permutation noise can dip below zero
 			}
 		}
+		im.Scores[i] = scores
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return im, nil
 }

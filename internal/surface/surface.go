@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"nnwc/internal/core"
+	"nnwc/internal/sched"
 )
 
 // Slice describes a 2-D cut through the configuration space.
@@ -54,30 +55,43 @@ type Grid struct {
 	Z     [][]float64
 }
 
-// Evaluate runs the model over the slice's grid. All grid points are
-// materialized and pushed through core.PredictAll, so batch-capable models
-// evaluate the whole surface in one forward pass.
+// Evaluate runs the model over the slice's grid on the scheduler's
+// default worker count; see EvaluateWorkers.
 func Evaluate(p core.Predictor, s Slice, inputDim, outputDim int) (*Grid, error) {
+	return EvaluateWorkers(p, s, inputDim, outputDim, 0)
+}
+
+// EvaluateWorkers runs the model over the slice's grid. Each grid row (one
+// XValue, all YValues) is materialized and pushed through core.PredictAll
+// as one batch, and rows evaluate concurrently on up to `workers`
+// goroutines (<= 0 means the scheduler default). Every Z cell is computed
+// from its own configuration vector and written to its own slot, so the
+// surface is bit-identical across worker counts and to the historical
+// single-batch path.
+func EvaluateWorkers(p core.Predictor, s Slice, inputDim, outputDim, workers int) (*Grid, error) {
 	if err := s.Validate(inputDim, outputDim); err != nil {
 		return nil, err
 	}
-	rows := make([][]float64, 0, len(s.XValues)*len(s.YValues))
-	for _, xv := range s.XValues {
-		for _, yv := range s.YValues {
+	z := make([][]float64, len(s.XValues))
+	err := sched.ForEach(sched.Workers(workers), len(s.XValues), func(i int) error {
+		rows := make([][]float64, len(s.YValues))
+		for j, yv := range s.YValues {
 			x := make([]float64, inputDim)
 			copy(x, s.Fixed)
-			x[s.XIndex] = xv
+			x[s.XIndex] = s.XValues[i]
 			x[s.YIndex] = yv
-			rows = append(rows, x)
+			rows[j] = x
 		}
-	}
-	outs := core.PredictAll(p, rows)
-	z := make([][]float64, len(s.XValues))
-	for i := range s.XValues {
-		z[i] = make([]float64, len(s.YValues))
-		for j := range s.YValues {
-			z[i][j] = outs[i*len(s.YValues)+j][s.Output]
+		outs := core.PredictAll(p, rows)
+		zi := make([]float64, len(s.YValues))
+		for j := range zi {
+			zi[j] = outs[j][s.Output]
 		}
+		z[i] = zi
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Grid{Slice: s, Z: z}, nil
 }

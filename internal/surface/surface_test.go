@@ -248,3 +248,35 @@ func TestExtremalPathCrest(t *testing.T) {
 		}
 	}
 }
+
+func TestEvaluateWorkersBitIdentical(t *testing.T) {
+	xs, ys := Linspace(-2, 2, 17), Linspace(-1, 3, 11)
+	sl := Slice{
+		Fixed:   []float64{0, 0},
+		XIndex:  0,
+		YIndex:  1,
+		XValues: xs,
+		YValues: ys,
+		Output:  0,
+	}
+	p := funcPredictor(func(v []float64) []float64 {
+		return []float64{math.Sin(3*v[0]) * math.Exp(0.2*v[1])}
+	})
+	ref, err := EvaluateWorkers(p, sl, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		got, err := EvaluateWorkers(p, sl, 2, 1, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Z {
+			for j := range ref.Z[i] {
+				if got.Z[i][j] != ref.Z[i][j] {
+					t.Fatalf("workers=%d Z[%d][%d] = %v, workers=1 gave %v", w, i, j, got.Z[i][j], ref.Z[i][j])
+				}
+			}
+		}
+	}
+}

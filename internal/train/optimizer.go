@@ -17,6 +17,10 @@ type Optimizer interface {
 	// Reset clears optimizer state so the instance can train a fresh
 	// network of the same topology.
 	Reset()
+	// Clone returns an independent optimizer with the same hyperparameters
+	// and no accumulated state. Trainers clone the configured optimizer at
+	// construction, so one Config value can drive many concurrent fits.
+	Clone() Optimizer
 	// Name identifies the optimizer in reports.
 	Name() string
 }
@@ -37,6 +41,9 @@ func (s *SGD) Step(net *nn.Network, g *Gradients) {
 
 // Reset implements Optimizer (SGD is stateless).
 func (s *SGD) Reset() {}
+
+// Clone implements Optimizer.
+func (s *SGD) Clone() Optimizer { c := *s; return &c }
 
 // Name implements Optimizer.
 func (s *SGD) Name() string { return "sgd" }
@@ -62,6 +69,9 @@ func (m *Momentum) Step(net *nn.Network, g *Gradients) {
 
 // Reset implements Optimizer.
 func (m *Momentum) Reset() { m.vel = nil }
+
+// Clone implements Optimizer.
+func (m *Momentum) Clone() Optimizer { return &Momentum{LR: m.LR, Mu: m.Mu} }
 
 // Name implements Optimizer.
 func (m *Momentum) Name() string { return "momentum" }
@@ -114,6 +124,11 @@ func (r *RPROP) Step(net *nn.Network, g *Gradients) {
 // Reset implements Optimizer.
 func (r *RPROP) Reset() { r.step, r.prev = nil, nil }
 
+// Clone implements Optimizer.
+func (r *RPROP) Clone() Optimizer {
+	return &RPROP{EtaPlus: r.EtaPlus, EtaMinus: r.EtaMinus, StepInit: r.StepInit, StepMin: r.StepMin, StepMax: r.StepMax}
+}
+
 // Name implements Optimizer.
 func (r *RPROP) Name() string { return "rprop" }
 
@@ -161,6 +176,11 @@ func (a *Adam) Step(net *nn.Network, g *Gradients) {
 
 // Reset implements Optimizer.
 func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
+
+// Clone implements Optimizer.
+func (a *Adam) Clone() Optimizer {
+	return &Adam{LR: a.LR, Beta1: a.Beta1, Beta2: a.Beta2, Eps: a.Eps}
+}
 
 // Name implements Optimizer.
 func (a *Adam) Name() string { return "adam" }

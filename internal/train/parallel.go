@@ -1,11 +1,11 @@
 package train
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"nnwc/internal/mat"
 	"nnwc/internal/nn"
+	"nnwc/internal/sched"
 )
 
 // Parallel gradient accumulation works on fixed sample blocks rather than
@@ -68,23 +68,18 @@ func (t *Trainer) parallelBatch(net *nn.Network, X, Y *mat.Matrix, out *Gradient
 
 	invN := 1 / float64(n)
 	var nextBlock int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(ws *Workspace) {
-			defer wg.Done()
-			for {
-				b := int(atomic.AddInt64(&nextBlock, 1)) - 1
-				if b >= nb {
-					return
-				}
-				lo, hi := b*n/nb, (b+1)*n/nb
-				bx, by := X.RowRange(lo, hi), Y.RowRange(lo, hi)
-				sc.losses[b] = BackpropBatch(net, &bx, &by, invN, ws, sc.blocks[b])
+	sched.RunWorkers(workers, func(w int) {
+		ws := &sc.wss[w]
+		for {
+			b := int(atomic.AddInt64(&nextBlock, 1)) - 1
+			if b >= nb {
+				return
 			}
-		}(&sc.wss[w])
-	}
-	wg.Wait()
+			lo, hi := b*n/nb, (b+1)*n/nb
+			bx, by := X.RowRange(lo, hi), Y.RowRange(lo, hi)
+			sc.losses[b] = BackpropBatch(net, &bx, &by, invN, ws, sc.blocks[b])
+		}
+	})
 
 	// Serial reduction in ascending block order: the only float summation
 	// whose order could depend on scheduling, pinned here instead.

@@ -144,6 +144,9 @@ func New(cfg Config, src *rng.Source) (*Trainer, error) {
 	if src == nil {
 		src = rng.New(1)
 	}
+	// Take a private optimizer: stateful optimizers carry per-run slices,
+	// and one Config value may drive many concurrent trainers.
+	cfg.Optimizer = cfg.Optimizer.Clone()
 	return &Trainer{cfg: cfg, src: src}, nil
 }
 
