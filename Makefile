@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json ci clean
+.PHONY: all build vet test race bench-smoke bench bench-json serve-bench ci clean
 
 all: ci
 
@@ -30,6 +30,13 @@ bench:
 # workers=NumCPU, with speedups, written to BENCH_experiments.json.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_experiments.json
+
+# Machine-readable benchmark of the prediction server (see DESIGN.md §8):
+# requests/sec and p50/p99 latency, single-request vs coalesced inference,
+# at 1 and many concurrent clients, at the HTTP and inference layers,
+# written to BENCH_serve.json.
+serve-bench:
+	$(GO) run ./cmd/servebench -out BENCH_serve.json
 
 ci: build vet race bench-smoke
 

@@ -12,6 +12,7 @@
 //	nnwc surface   -model model.json -output 4 [-fixed 560,0,16,0] [-xi 1] [-yi 3] [-xrange 2:16:8] [-yrange 8:24:9] [-workers N]
 //	nnwc recommend -model model.json [-maximize 4] [-bounds 140,80,60,65,inf]
 //	nnwc compare   -data data.csv [-k 5] [-workers N]
+//	nnwc serve     -model model.json [-addr :8080] [-max-batch 64] [-max-wait 2ms] [-workers N]
 //
 // Subcommands with parallel phases (crossval, compare, surface, select,
 // importance) accept -workers (default GOMAXPROCS) to bound the
@@ -47,6 +48,8 @@ func main() {
 		err = cmdSurface(os.Args[2:])
 	case "recommend":
 		err = cmdRecommend(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "importance":
@@ -78,6 +81,7 @@ subcommands:
   predict    predict the performance indicators of one configuration
   surface    evaluate a model over a 2-D configuration slice (the paper's 3-D figures)
   recommend  search for the best configuration under a scoring function
+  serve      HTTP prediction server: coalesced batched inference, hot reload, metrics
   compare    compare linear/polynomial/log/MLP/LNN model families by CV error
   importance permutation feature importance of a trained model on a dataset
   select     automated hidden-node-count selection by cross-validation

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"nnwc/internal/serve"
+)
+
+// cmdServe runs the production prediction server: load a persisted model,
+// answer /predict with coalesced batched inference, expose health and
+// metrics, hot-reload on SIGHUP or POST /-/reload, and drain gracefully on
+// SIGINT/SIGTERM.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "persisted model artifact to serve")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxBatch := fs.Int("max-batch", 64, "max rows coalesced into one forward call (1 disables coalescing)")
+	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "max extra latency spent gathering a batch")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request prediction timeout")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent inference workers")
+	fs.Parse(args)
+
+	srv, err := serve.New(serve.Config{
+		Addr:           *addr,
+		ModelPath:      *modelPath,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("nnwc serve: model %s on http://%s (batch<=%d, wait<=%s, %d workers)\n",
+		*modelPath, srv.Addr(), *maxBatch, *maxWait, *workers)
+	fmt.Println("nnwc serve: SIGHUP reloads the model, SIGINT/SIGTERM drains and exits")
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Wait() }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-serveErr:
+			return fmt.Errorf("serve: listener failed: %w", err)
+		case sig := <-sigCh:
+			if sig == syscall.SIGHUP {
+				if err := srv.Reload(); err != nil {
+					fmt.Fprintf(os.Stderr, "nnwc serve: %v (previous model keeps serving)\n", err)
+				} else {
+					fmt.Println("nnwc serve: model reloaded")
+				}
+				continue
+			}
+			fmt.Printf("nnwc serve: %s — draining (up to %s)\n", sig, *drain)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			return srv.Shutdown(ctx)
+		}
+	}
+}

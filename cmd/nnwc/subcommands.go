@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -93,12 +94,25 @@ func loadDataset(path string) (*workload.Dataset, error) {
 }
 
 func loadModel(path string) (*core.NNModel, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+	return core.LoadModelFile(path)
+}
+
+// fmtPct renders a fractional error as a percentage, or "n/a" when the
+// metric is undefined (NaN) — an undefined indicator must be visible, not
+// reported as 0% error.
+func fmtPct(e float64, width, prec int) string {
+	if math.IsNaN(e) {
+		return fmt.Sprintf("%*s", width+1, "n/a")
 	}
-	defer f.Close()
-	return core.LoadModel(f)
+	return fmt.Sprintf("%*.*f%%", width, prec, e*100)
+}
+
+// warnUndefined prints which indicators an evaluation skipped, if any.
+func warnUndefined(undefined []string) {
+	if len(undefined) > 0 {
+		fmt.Printf("note: HMRE undefined for %s (e.g. all-zero actuals); skipped in averages\n",
+			strings.Join(undefined, ", "))
+	}
 }
 
 func modelConfig(hidden string, epochs int, seed uint64) (core.Config, error) {
@@ -181,12 +195,7 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*modelPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := model.Save(f); err != nil {
+	if err := model.SaveFile(*modelPath); err != nil {
 		return err
 	}
 	ev, err := core.Evaluate(model, ds)
@@ -197,8 +206,9 @@ func cmdTrain(args []string) error {
 		ds.Len(), model.TrainResult.Epochs, model.TrainResult.Reason, model.TrainResult.FinalLoss)
 	fmt.Printf("training-set error (HMRE) per indicator:\n")
 	for j, name := range ev.TargetNames {
-		fmt.Printf("  %-24s %.2f%%\n", name, ev.HMRE[j]*100)
+		fmt.Printf("  %-24s %s\n", name, fmtPct(ev.HMRE[j], 1, 2))
 	}
+	warnUndefined(ev.Undefined())
 	fmt.Printf("model saved to %s\n", *modelPath)
 	return nil
 }
@@ -231,18 +241,34 @@ func cmdCrossval(args []string) error {
 		fmt.Printf(" %22s", n)
 	}
 	fmt.Println()
+	undefined := map[string]bool{}
 	for i, tr := range cv.Trials {
 		fmt.Printf("%-8d", i+1)
-		for _, e := range tr.Errors {
-			fmt.Printf(" %21.1f%%", e*100)
+		for j, e := range tr.Errors {
+			fmt.Printf(" %s", fmtPct(e, 21, 1))
+			if math.IsNaN(e) {
+				undefined[cv.TargetNames[j]] = true
+			}
 		}
 		fmt.Println()
 	}
 	fmt.Printf("%-8s", "average")
 	for _, e := range cv.Averages {
-		fmt.Printf(" %21.1f%%", e*100)
+		fmt.Printf(" %s", fmtPct(e, 21, 1))
 	}
-	fmt.Printf("\noverall prediction accuracy: %.1f%%\n", cv.OverallAccuracy()*100)
+	if math.IsNaN(cv.OverallAccuracy()) {
+		fmt.Printf("\noverall prediction accuracy: n/a (no indicator has a defined error)\n")
+	} else {
+		fmt.Printf("\noverall prediction accuracy: %.1f%%\n", cv.OverallAccuracy()*100)
+	}
+	if len(undefined) > 0 {
+		names := make([]string, 0, len(undefined))
+		for n := range undefined {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		warnUndefined(names)
+	}
 	return nil
 }
 
@@ -476,7 +502,7 @@ func cmdCompare(args []string) error {
 		if err != nil {
 			return 0, err
 		}
-		return stats.Mean(ev.HMRE), nil
+		return stats.MeanSkipNaN(ev.HMRE), nil
 	})
 	if err != nil {
 		return err

@@ -93,7 +93,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-20s %13.1f%% %15.1f%%\n", e.name,
-			stats.Mean(evIn.HMRE)*100, stats.Mean(evOut.HMRE)*100)
+			stats.MeanSkipNaN(evIn.HMRE)*100, stats.MeanSkipNaN(evOut.HMRE)*100)
 	}
 	fmt.Println(`
 Reading the table like the paper does:

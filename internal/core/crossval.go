@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"nnwc/internal/rng"
 	"nnwc/internal/sched"
@@ -24,12 +25,16 @@ type Trial struct {
 type CVResult struct {
 	TargetNames []string
 	Trials      []Trial
-	// Averages[j] is the mean over trials of indicator j's error.
+	// Averages[j] is the mean over trials of indicator j's error. Trials
+	// on which the metric was undefined (NaN, e.g. all-zero actuals in
+	// the fold) are skipped; Averages[j] is NaN only when every trial was
+	// undefined for that indicator.
 	Averages []float64
 }
 
-// OverallError averages across indicators and trials.
-func (r *CVResult) OverallError() float64 { return stats.Mean(r.Averages) }
+// OverallError averages across indicators and trials, skipping indicators
+// whose error is undefined (NaN) in every trial.
+func (r *CVResult) OverallError() float64 { return stats.MeanSkipNaN(r.Averages) }
 
 // OverallAccuracy is the paper's headline number: 1 − overall error
 // (reported as "an average prediction accuracy of 95%").
@@ -93,9 +98,23 @@ func CrossValidateWorkers(ds *workload.Dataset, cfg Config, k int, seed uint64, 
 	}
 	// Reduce in ascending fold order — the same floating-point summation
 	// order as the historical serial loop, whatever the worker count.
-	for f := 0; f < k; f++ {
-		for j, e := range res.Trials[f].Errors {
-			res.Averages[j] += e / float64(k)
+	// Undefined (NaN) trials are left out of an indicator's average
+	// rather than poisoning it.
+	for j := range res.Averages {
+		var sum float64
+		defined := 0
+		for f := 0; f < k; f++ {
+			e := res.Trials[f].Errors[j]
+			if math.IsNaN(e) {
+				continue
+			}
+			sum += e
+			defined++
+		}
+		if defined == 0 {
+			res.Averages[j] = math.NaN()
+		} else {
+			res.Averages[j] = sum / float64(defined)
 		}
 	}
 	return res, nil

@@ -125,7 +125,7 @@ func (e *Ensemble) MemberErrors(ds *workload.Dataset) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[i] = stats.Mean(ev.HMRE)
+		out[i] = stats.MeanSkipNaN(ev.HMRE)
 	}
 	return out, nil
 }

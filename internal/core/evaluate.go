@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 
 	"nnwc/internal/stats"
 	"nnwc/internal/workload"
@@ -11,7 +12,9 @@ import (
 type Evaluation struct {
 	TargetNames []string
 	// HMRE is the paper's §3.3 metric per indicator: harmonic mean of
-	// |error| / actual over the dataset.
+	// |error| / actual over the dataset. An indicator on which the metric
+	// is undefined (e.g. all-zero actuals leave no relative errors) holds
+	// NaN, not 0 — 0 would read as a perfect prediction.
 	HMRE []float64
 	// MAPE, RMSE and R2 are conventional metrics for cross-checking.
 	MAPE []float64
@@ -19,12 +22,26 @@ type Evaluation struct {
 	R2   []float64
 }
 
-// MeanHMRE averages the paper metric across indicators.
-func (e *Evaluation) MeanHMRE() float64 { return stats.Mean(e.HMRE) }
+// MeanHMRE averages the paper metric across the indicators on which it is
+// defined; undefined (NaN) indicators are skipped. It is NaN only when no
+// indicator is defined.
+func (e *Evaluation) MeanHMRE() float64 { return stats.MeanSkipNaN(e.HMRE) }
 
 // Accuracy returns the paper's headline "average prediction accuracy":
-// 1 − mean error across indicators.
+// 1 − mean error across defined indicators (NaN when none is defined).
 func (e *Evaluation) Accuracy() float64 { return 1 - e.MeanHMRE() }
+
+// Undefined lists the indicators whose HMRE is undefined on this dataset
+// (skipped by MeanHMRE/Accuracy), so reports can surface the skip.
+func (e *Evaluation) Undefined() []string {
+	var out []string
+	for j, h := range e.HMRE {
+		if math.IsNaN(h) {
+			out = append(out, e.TargetNames[j])
+		}
+	}
+	return out
+}
 
 // Evaluate scores p on every sample of ds.
 func Evaluate(p Predictor, ds *workload.Dataset) (*Evaluation, error) {
@@ -55,10 +72,10 @@ func Evaluate(p Predictor, ds *workload.Dataset) (*Evaluation, error) {
 	for j := 0; j < m; j++ {
 		h, err := stats.HarmonicMeanRelativeError(actual[j], pred[j])
 		if err != nil {
-			// All-zero actuals for an indicator: fall back to MAPE(=0/0
-			// skipped) semantics by reporting 0 — the indicator carries
-			// no relative-error information.
-			h = 0
+			// All-zero actuals leave no relative errors: the metric is
+			// undefined for this indicator. NaN keeps it out of the
+			// averages instead of counting as a perfect prediction.
+			h = math.NaN()
 		}
 		ev.HMRE[j] = h
 		ev.MAPE[j] = stats.MAPE(actual[j], pred[j])

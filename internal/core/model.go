@@ -22,6 +22,7 @@ import (
 	"nnwc/internal/preprocess"
 	"nnwc/internal/rng"
 	"nnwc/internal/sched"
+	"nnwc/internal/stats"
 	"nnwc/internal/train"
 	"nnwc/internal/workload"
 )
@@ -129,6 +130,13 @@ type NNModel struct {
 	YScaler preprocess.Scaler
 	Net     *nn.Network
 
+	// FeatureMin/FeatureMax record the training envelope: the per-feature
+	// extremes of the fit dataset. Consumers (the prediction server) use
+	// them to flag extrapolating queries; models persisted before this
+	// field leave them nil.
+	FeatureMin []float64
+	FeatureMax []float64
+
 	// TrainResult records how training terminated.
 	TrainResult train.Result
 }
@@ -160,6 +168,12 @@ func fitWithValidation(ds, val *workload.Dataset, cfg Config) (*NNModel, error) 
 	m := &NNModel{
 		FeatureNames: append([]string(nil), ds.FeatureNames...),
 		TargetNames:  append([]string(nil), ds.TargetNames...),
+	}
+	m.FeatureMin = make([]float64, ds.NumFeatures())
+	m.FeatureMax = make([]float64, ds.NumFeatures())
+	for j := range m.FeatureMin {
+		col := ds.FeatureColumn(j)
+		m.FeatureMin[j], m.FeatureMax[j] = stats.Min(col), stats.Max(col)
 	}
 
 	// §3.1 pre-processing.

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"nnwc/internal/nn"
 	"nnwc/internal/preprocess"
@@ -14,11 +16,15 @@ import (
 // parameters, and the network weights. The format is plain JSON so models
 // are diffable and inspectable.
 type modelJSON struct {
-	FeatureNames []string        `json:"feature_names"`
-	TargetNames  []string        `json:"target_names"`
-	XScaler      scalerJSON      `json:"x_scaler"`
-	YScaler      scalerJSON      `json:"y_scaler"`
-	Network      json.RawMessage `json:"network"`
+	FeatureNames []string   `json:"feature_names"`
+	TargetNames  []string   `json:"target_names"`
+	XScaler      scalerJSON `json:"x_scaler"`
+	YScaler      scalerJSON `json:"y_scaler"`
+	// FeatureMin/FeatureMax carry the training envelope when the model
+	// recorded one; absent in artifacts written before the field existed.
+	FeatureMin []float64       `json:"feature_min,omitempty"`
+	FeatureMax []float64       `json:"feature_max,omitempty"`
+	Network    json.RawMessage `json:"network"`
 }
 
 type scalerJSON struct {
@@ -88,6 +94,8 @@ func (m *NNModel) Save(w io.Writer) error {
 		TargetNames:  m.TargetNames,
 		XScaler:      xs,
 		YScaler:      ys,
+		FeatureMin:   m.FeatureMin,
+		FeatureMax:   m.FeatureMax,
 		Network:      json.RawMessage(netBuf.Bytes()),
 	}
 	enc := json.NewEncoder(w)
@@ -118,11 +126,48 @@ func LoadModel(r io.Reader) (*NNModel, error) {
 		TargetNames:  doc.TargetNames,
 		XScaler:      xScaler,
 		YScaler:      yScaler,
+		FeatureMin:   doc.FeatureMin,
+		FeatureMax:   doc.FeatureMax,
 		Net:          net,
 	}
 	if net.InputDim() != len(m.FeatureNames) || net.OutputDim() != len(m.TargetNames) {
 		return nil, fmt.Errorf("core: network dims (%d,%d) do not match schema (%d,%d)",
 			net.InputDim(), net.OutputDim(), len(m.FeatureNames), len(m.TargetNames))
 	}
+	if (m.FeatureMin != nil || m.FeatureMax != nil) &&
+		(len(m.FeatureMin) != len(m.FeatureNames) || len(m.FeatureMax) != len(m.FeatureNames)) {
+		return nil, fmt.Errorf("core: training envelope has %d/%d entries for %d features",
+			len(m.FeatureMin), len(m.FeatureMax), len(m.FeatureNames))
+	}
 	return m, nil
+}
+
+// SaveFile writes the model to path, atomically: the JSON lands in a
+// temporary sibling file that is renamed into place, so a concurrent reader
+// (the prediction server's hot reload) never observes a half-written
+// artifact.
+func (m *NNModel) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := m.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadModelFile opens path and loads the model persisted there.
+func LoadModelFile(path string) (*NNModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
 }

@@ -34,7 +34,7 @@ func (c *Context) RunAblations() error {
 		if err != nil {
 			return 0, err
 		}
-		return stats.Mean(ev.HMRE), nil
+		return stats.MeanSkipNaN(ev.HMRE), nil
 	}
 	base := func() core.Config {
 		cfg := c.Model
@@ -116,7 +116,7 @@ func (c *Context) RunAblations() error {
 		if err != nil {
 			return err
 		}
-		e := stats.Mean(ev.HMRE)
+		e := stats.MeanSkipNaN(ev.HMRE)
 		variant := fmt.Sprintf("%d member(s)", n)
 		c.printf("%-22s %-18s %9.1f%%\n", "ensemble", variant, e*100)
 		artifact = append(artifact, [3]string{"ensemble", variant, fmt.Sprintf("%.4f", e)})

@@ -2,8 +2,29 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 )
+
+// pct renders a fractional error for the fixed-width table, or "n/a" when
+// the metric is undefined (NaN) for that indicator — the skip must be
+// visible instead of silently counting as 0% error.
+func pct(e float64) string {
+	if math.IsNaN(e) {
+		return fmt.Sprintf("%12s", "n/a")
+	}
+	return fmt.Sprintf("%11.1f%%", e*100)
+}
+
+// csvCell renders a fractional error for CSV artifacts ("NaN" when
+// undefined, which R/pandas parse natively).
+func csvCell(e float64) string {
+	if math.IsNaN(e) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.4f", e)
+}
 
 // RunTable1 documents the simulated environment standing in for the
 // paper's Table 1 testbed (4 × dual-core 3.4 GHz Xeon with Hyper-Threading,
@@ -36,20 +57,36 @@ func (c *Context) RunTable2() error {
 		c.printf(" %12s", n)
 	}
 	c.printf("\n")
+	undefined := map[string]bool{}
 	for i, tr := range cv.Trials {
 		c.printf("%-8d", i+1)
-		for _, e := range tr.Errors {
-			c.printf(" %11.1f%%", e*100)
+		for j, e := range tr.Errors {
+			c.printf(" %s", pct(e))
+			if math.IsNaN(e) {
+				undefined[cv.TargetNames[j]] = true
+			}
 		}
 		c.printf("\n")
 	}
 	c.printf("%-8s", "Average")
 	for _, e := range cv.Averages {
-		c.printf(" %11.1f%%", e*100)
+		c.printf(" %s", pct(e))
 	}
 	c.printf("\n")
-	c.printf("Overall average prediction accuracy: %.1f%% (paper reports ~95%%)\n\n",
-		cv.OverallAccuracy()*100)
+	if overall := cv.OverallAccuracy(); math.IsNaN(overall) {
+		c.printf("Overall average prediction accuracy: n/a — no indicator has a defined error\n\n")
+	} else {
+		c.printf("Overall average prediction accuracy: %.1f%% (paper reports ~95%%)\n\n", overall*100)
+	}
+	if len(undefined) > 0 {
+		names := make([]string, 0, len(undefined))
+		for n := range undefined {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		c.printf("note: HMRE undefined (NaN) for %s; those cells are skipped in the averages\n\n",
+			strings.Join(names, ", "))
+	}
 
 	f, err := c.createArtifact("table2.csv")
 	if err != nil {
@@ -60,13 +97,13 @@ func (c *Context) RunTable2() error {
 	for i, tr := range cv.Trials {
 		fmt.Fprintf(f, "%d", i+1)
 		for _, e := range tr.Errors {
-			fmt.Fprintf(f, ",%.4f", e)
+			fmt.Fprintf(f, ",%s", csvCell(e))
 		}
 		fmt.Fprintln(f)
 	}
 	fmt.Fprintf(f, "average")
 	for _, e := range cv.Averages {
-		fmt.Fprintf(f, ",%.4f", e)
+		fmt.Fprintf(f, ",%s", csvCell(e))
 	}
 	fmt.Fprintln(f)
 	return nil

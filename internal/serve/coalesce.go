@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrDraining is returned to requests that reach the prediction queue while
+// the server is shutting down.
+var ErrDraining = errors.New("serve: server is draining")
+
+// predictJob is one configuration vector waiting for inference, with the
+// channel its result is delivered on (buffered so a worker never blocks on
+// a caller that gave up).
+type predictJob struct {
+	x     []float64
+	reply chan predictResult
+}
+
+type predictResult struct {
+	y   []float64
+	err error
+}
+
+// coalescer is the request micro-batcher: concurrent predict requests are
+// gathered into one batched forward call, bounded by maxBatch rows and
+// maxWait of extra latency. Gathering is greedy first — whatever is already
+// queued joins immediately — and only then waits out maxWait for
+// stragglers, so an idle server adds no artificial latency under light
+// load and saturates batches under heavy load.
+type coalescer struct {
+	jobs     chan predictJob
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	maxBatch int
+	maxWait  time.Duration
+	run      func(batch []predictJob)
+}
+
+func newCoalescer(maxBatch int, maxWait time.Duration, queueDepth int, run func([]predictJob)) *coalescer {
+	return &coalescer{
+		jobs:     make(chan predictJob, queueDepth),
+		stop:     make(chan struct{}),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		run:      run,
+	}
+}
+
+// start launches `workers` independent gather-and-infer loops. Each worker
+// assembles its own batch, so inference parallelism scales with workers
+// while every batch still flows through one forward call.
+func (c *coalescer) start(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	c.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go c.loop()
+	}
+}
+
+func (c *coalescer) loop() {
+	defer c.wg.Done()
+	// One reusable batch buffer per worker: run must finish with the slice
+	// before returning (runBatch fans results out synchronously), so gather
+	// can reuse it without allocating maxBatch headers per batch.
+	buf := make([]predictJob, 0, c.maxBatch)
+	for {
+		select {
+		case <-c.stop:
+			c.drain()
+			return
+		case j := <-c.jobs:
+			c.run(c.gather(buf[:0], j))
+		}
+	}
+}
+
+// drain answers whatever is still queued after stop with ErrDraining. By
+// the time stop closes the HTTP server has already drained its handlers,
+// so this is a defensive backstop, not the normal path.
+func (c *coalescer) drain() {
+	for {
+		select {
+		case j := <-c.jobs:
+			j.reply <- predictResult{err: ErrDraining}
+		default:
+			return
+		}
+	}
+}
+
+// gather assembles a batch around the first job into batch (len 0 on entry;
+// the run callback must not retain the slice). Batches form from backlog:
+// everything already queued joins greedily, then one cooperative yield lets
+// submitters that are already runnable enqueue before the batch closes —
+// that single scheduler pass is what fills batches under concurrent load
+// without spending the maxWait timer. A batch that found company runs
+// immediately; only a lone row on an idle queue is held, up to maxWait, for
+// near-simultaneous arrivals, and the first straggler closes the batch
+// after one more greedy sweep.
+func (c *coalescer) gather(batch []predictJob, first predictJob) []predictJob {
+	batch = append(batch, first)
+	batch = c.greedy(batch)
+	if len(batch) < c.maxBatch {
+		runtime.Gosched()
+		batch = c.greedy(batch)
+	}
+	if len(batch) > 1 || c.maxWait <= 0 {
+		return batch
+	}
+	timer := time.NewTimer(c.maxWait)
+	defer timer.Stop()
+	select {
+	case j := <-c.jobs:
+		return c.greedy(append(batch, j))
+	case <-timer.C:
+	case <-c.stop:
+	}
+	return batch
+}
+
+// greedy drains whatever is queued right now into batch, up to maxBatch.
+func (c *coalescer) greedy(batch []predictJob) []predictJob {
+	for len(batch) < c.maxBatch {
+		select {
+		case j := <-c.jobs:
+			batch = append(batch, j)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// submitAll enqueues every row of xs and waits for all results (or the
+// context). Rows from one request may land in different batches and batches
+// may mix rows from many requests — that is the point.
+func (c *coalescer) submitAll(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	jobs := make([]predictJob, len(xs))
+	for i, x := range xs {
+		jobs[i] = predictJob{x: x, reply: make(chan predictResult, 1)}
+		select {
+		case c.jobs <- jobs[i]:
+		case <-c.stop:
+			return nil, ErrDraining
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	out := make([][]float64, len(xs))
+	for i := range jobs {
+		select {
+		case res := <-jobs[i].reply:
+			if res.err != nil {
+				return nil, res.err
+			}
+			out[i] = res.y
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// shutdown stops the workers and waits for them; idempotent.
+func (c *coalescer) shutdown() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}

@@ -1,0 +1,484 @@
+// Package serve is the production prediction service: it loads a persisted
+// workload model (network + fitted scalers, core/persist), exposes an HTTP
+// API for configuration-parameter → performance-indicator predictions, and
+// keeps the hot path batched — concurrent requests are coalesced into one
+// batched forward call through the zero-allocation nn kernels.
+//
+// Endpoints:
+//
+//	POST /predict   {"x":[...]} or {"instances":[[...],...]} → predictions
+//	GET  /healthz   liveness (process up)
+//	GET  /readyz    readiness (model loaded, not draining)
+//	GET  /metrics   Prometheus text: request/error counters, latency and
+//	                batch-size quantiles, model metadata
+//	POST /-/reload  atomically reload the model artifact from disk
+//
+// The model can also be hot-reloaded with SIGHUP (wired in cmd/nnwc).
+// Shutdown drains: readiness flips immediately, in-flight requests finish,
+// then the inference workers stop.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"nnwc/internal/core"
+)
+
+// Config parameterizes a Server. Zero values get production defaults.
+type Config struct {
+	// Addr is the listen address (default ":8080"; use "127.0.0.1:0" in
+	// tests and read the bound address back with Addr).
+	Addr string
+	// ModelPath is the persisted model artifact to serve and hot-reload.
+	ModelPath string
+	// MaxBatch bounds the rows gathered into one forward call (default
+	// 64). 1 disables coalescing — every request is its own forward call.
+	MaxBatch int
+	// MaxWait bounds the extra latency a request can pay waiting for
+	// batch-mates (default 2ms). 0 means gather only what is already
+	// queued.
+	MaxWait time.Duration
+	// RequestTimeout bounds one prediction end to end (default 5s).
+	RequestTimeout time.Duration
+	// Workers is the number of independent gather-and-infer loops
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is the pending-row buffer (default 1024).
+	QueueDepth int
+	// MaxBodyBytes caps a request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait < 0 {
+		c.MaxWait = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// batchPredictor is what inference needs from a model; *core.NNModel
+// satisfies it, and tests wrap it to inject latency.
+type batchPredictor interface {
+	PredictAll(xs [][]float64) [][]float64
+}
+
+// modelState is one immutable loaded-model snapshot. Hot reload swaps the
+// whole state atomically, so a batch always sees one consistent model.
+type modelState struct {
+	pred                   batchPredictor
+	inputDim, outputDim    int
+	featureNames           []string
+	targetNames            []string
+	featureMin, featureMax []float64
+	path                   string
+	loadedAt               time.Time
+}
+
+func newModelState(m *core.NNModel, path string) *modelState {
+	return &modelState{
+		pred:         m,
+		inputDim:     m.InputDim(),
+		outputDim:    m.OutputDim(),
+		featureNames: m.FeatureNames,
+		targetNames:  m.TargetNames,
+		featureMin:   m.FeatureMin,
+		featureMax:   m.FeatureMax,
+		path:         path,
+		loadedAt:     time.Now(),
+	}
+}
+
+// Server is the prediction service. Create with New, start listening with
+// Start, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	model    atomic.Pointer[modelState]
+	metrics  *metricsRegistry
+	co       *coalescer
+	http     *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+	serveErr chan error
+}
+
+// New builds a Server, loads the initial model from cfg.ModelPath (when
+// set), and starts the inference workers. The HTTP listener is not opened
+// until Start; Handler can be mounted elsewhere (tests, embedding).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  newMetricsRegistry(),
+		serveErr: make(chan error, 1),
+	}
+	s.co = newCoalescer(cfg.MaxBatch, cfg.MaxWait, cfg.QueueDepth, s.runBatch)
+	if cfg.ModelPath != "" {
+		m, err := core.LoadModelFile(cfg.ModelPath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading model: %w", err)
+		}
+		s.model.Store(newModelState(m, cfg.ModelPath))
+	}
+	s.co.start(cfg.Workers)
+	return s, nil
+}
+
+// Reload atomically replaces the serving model with a fresh load of
+// cfg.ModelPath. On failure the previous model keeps serving.
+func (s *Server) Reload() error {
+	m, err := core.LoadModelFile(s.cfg.ModelPath)
+	if err != nil {
+		s.metrics.observeError("reload_failed")
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	s.model.Store(newModelState(m, s.cfg.ModelPath))
+	s.metrics.observeReload()
+	return nil
+}
+
+// ModelInfo describes the serving model in API responses.
+type ModelInfo struct {
+	Path         string   `json:"path"`
+	LoadedAt     string   `json:"loaded_at"`
+	FeatureNames []string `json:"feature_names"`
+	TargetNames  []string `json:"target_names"`
+}
+
+// PredictRequest is the /predict body: one vector in X, or several in
+// Instances (exactly one of the two).
+type PredictRequest struct {
+	X         []float64   `json:"x,omitempty"`
+	Instances [][]float64 `json:"instances,omitempty"`
+}
+
+// PredictResponse is the /predict reply. Predictions[i][j] is indicator j
+// (TargetNames[j]) for input row i, in native units.
+type PredictResponse struct {
+	Predictions [][]float64 `json:"predictions"`
+	TargetNames []string    `json:"target_names"`
+	Warnings    []string    `json:"warnings,omitempty"`
+	Model       ModelInfo   `json:"model"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /-/reload", s.handleReload)
+	return mux
+}
+
+// Start opens the listener on cfg.Addr and serves the API until Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.http = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr <- err
+		}
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with Addr "127.0.0.1:0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Wait blocks until the HTTP listener fails (never returns after a clean
+// Shutdown-initiated close; use Shutdown from a signal handler for that).
+func (s *Server) Wait() error { return <-s.serveErr }
+
+// Predict submits one row through the coalescer and returns its prediction.
+// This is the same inference path the /predict handler uses, minus HTTP —
+// for embedding the server in-process and for benchmarks that isolate the
+// micro-batching layer.
+func (s *Server) Predict(ctx context.Context, x []float64) ([]float64, error) {
+	ms := s.model.Load()
+	if ms == nil {
+		return nil, errors.New("serve: no model loaded")
+	}
+	if len(x) != ms.inputDim {
+		return nil, fmt.Errorf("serve: model expects %d features, got %d", ms.inputDim, len(x))
+	}
+	ys, err := s.co.submitAll(ctx, [][]float64{x})
+	if err != nil {
+		return nil, err
+	}
+	return ys[0], nil
+}
+
+// Shutdown drains and stops the server: readiness flips to 503 first (load
+// balancers stop routing), the HTTP server stops accepting and waits for
+// in-flight handlers within ctx, then the inference workers stop. Requests
+// in flight at call time complete normally.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.http != nil {
+		err = s.http.Shutdown(ctx)
+	}
+	s.co.shutdown()
+	return err
+}
+
+// runBatch is the coalescer's inference callback: validate each row against
+// the current model snapshot, run one batched forward call, fan the rows
+// back out.
+func (s *Server) runBatch(batch []predictJob) {
+	ms := s.model.Load()
+	s.metrics.observeBatch(len(batch))
+	if ms == nil {
+		for _, j := range batch {
+			j.reply <- predictResult{err: errors.New("serve: no model loaded")}
+		}
+		return
+	}
+	xs := make([][]float64, 0, len(batch))
+	idx := make([]int, 0, len(batch))
+	for i, j := range batch {
+		// The handler validated against the snapshot it saw; a hot reload
+		// may have changed dimensionality since. Reject the stale rows
+		// instead of poisoning the whole batch.
+		if len(j.x) != ms.inputDim {
+			j.reply <- predictResult{err: fmt.Errorf("serve: model expects %d features, got %d (model reloaded mid-flight; retry)", ms.inputDim, len(j.x))}
+			continue
+		}
+		xs = append(xs, j.x)
+		idx = append(idx, i)
+	}
+	if len(xs) == 0 {
+		return
+	}
+	outs, err := predictSafely(ms.pred, xs)
+	if err != nil {
+		s.metrics.observeError("inference_panic")
+		for _, i := range idx {
+			batch[i].reply <- predictResult{err: err}
+		}
+		return
+	}
+	for k, i := range idx {
+		batch[i].reply <- predictResult{y: outs[k]}
+	}
+}
+
+// predictSafely converts an inference panic into an error so one poisoned
+// batch cannot take the server down.
+func predictSafely(p batchPredictor, xs [][]float64) (outs [][]float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: inference panicked: %v", r)
+		}
+	}()
+	return p.PredictAll(xs), nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, "healthz", http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.writeJSON(w, "readyz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.model.Load() == nil:
+		s.writeJSON(w, "readyz", http.StatusServiceUnavailable, map[string]string{"status": "no model loaded"})
+	default:
+		s.writeJSON(w, "readyz", http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var meta *modelMeta
+	if ms := s.model.Load(); ms != nil {
+		meta = &modelMeta{
+			path:       ms.path,
+			loadedUnix: ms.loadedAt.Unix(),
+			features:   ms.inputDim,
+			targets:    ms.outputDim,
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, meta)
+	s.metrics.observeRequest("metrics", http.StatusOK, 0)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.Reload(); err != nil {
+		s.writeJSON(w, "reload", http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	ms := s.model.Load()
+	s.writeJSON(w, "reload", http.StatusOK, map[string]string{
+		"status":    "reloaded",
+		"path":      ms.path,
+		"loaded_at": ms.loadedAt.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	respond := func(status int, v any) {
+		s.writeJSONTimed(w, "predict", status, v, time.Since(start))
+	}
+
+	if s.draining.Load() {
+		s.metrics.observeError("draining")
+		respond(http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+	ms := s.model.Load()
+	if ms == nil {
+		s.metrics.observeError("no_model")
+		respond(http.StatusServiceUnavailable, errorResponse{Error: "no model loaded"})
+		return
+	}
+
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.observeError("bad_json")
+		respond(http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	rows, err := requestRows(req)
+	if err != nil {
+		s.metrics.observeError("bad_request")
+		respond(http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	warnings, err := validateRows(ms, rows)
+	if err != nil {
+		s.metrics.observeError("bad_input")
+		respond(http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	preds, err := s.co.submitAll(ctx, rows)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.observeError("timeout")
+		respond(http.StatusGatewayTimeout, errorResponse{Error: "prediction timed out"})
+		return
+	case errors.Is(err, ErrDraining):
+		s.metrics.observeError("draining")
+		respond(http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	default:
+		s.metrics.observeError("inference")
+		respond(http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+
+	respond(http.StatusOK, PredictResponse{
+		Predictions: preds,
+		TargetNames: ms.targetNames,
+		Warnings:    warnings,
+		Model: ModelInfo{
+			Path:         ms.path,
+			LoadedAt:     ms.loadedAt.UTC().Format(time.RFC3339Nano),
+			FeatureNames: ms.featureNames,
+			TargetNames:  ms.targetNames,
+		},
+	})
+}
+
+// requestRows normalizes a PredictRequest into its input rows.
+func requestRows(req PredictRequest) ([][]float64, error) {
+	switch {
+	case len(req.X) > 0 && len(req.Instances) > 0:
+		return nil, errors.New(`use "x" or "instances", not both`)
+	case len(req.X) > 0:
+		return [][]float64{req.X}, nil
+	case len(req.Instances) > 0:
+		return req.Instances, nil
+	}
+	return nil, errors.New(`request must carry "x" (one vector) or "instances" (several)`)
+}
+
+// maxWarnings caps the envelope warnings one response carries.
+const maxWarnings = 16
+
+// validateRows checks dimensionality and finiteness (hard errors) and
+// collects training-envelope warnings (soft: the model will extrapolate,
+// which the paper's methodology does not vouch for).
+func validateRows(ms *modelState, rows [][]float64) ([]string, error) {
+	var warnings []string
+	for i, x := range rows {
+		if len(x) != ms.inputDim {
+			return nil, fmt.Errorf("row %d has %d features, model expects %d (%v)", i, len(x), ms.inputDim, ms.featureNames)
+		}
+		for j, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("row %d feature %q: non-finite value", i, ms.featureNames[j])
+			}
+			if ms.featureMin != nil && (v < ms.featureMin[j] || v > ms.featureMax[j]) && len(warnings) < maxWarnings {
+				warnings = append(warnings, fmt.Sprintf("row %d: %s=%g outside training envelope [%g, %g]",
+					i, ms.featureNames[j], v, ms.featureMin[j], ms.featureMax[j]))
+			}
+		}
+	}
+	return warnings, nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, status int, v any) {
+	s.writeJSONTimed(w, endpoint, status, v, 0)
+}
+
+func (s *Server) writeJSONTimed(w http.ResponseWriter, endpoint string, status int, v any, elapsed time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+	s.metrics.observeRequest(endpoint, status, elapsed.Seconds())
+}

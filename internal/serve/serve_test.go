@@ -1,0 +1,497 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nnwc/internal/core"
+	"nnwc/internal/train"
+	"nnwc/internal/workload"
+)
+
+// trainTestModel fits a small 2→2 model on a smooth function — fast enough
+// for a unit test, real enough to exercise scalers and the batched path.
+func trainTestModel(t *testing.T, seed uint64) *core.NNModel {
+	t.Helper()
+	ds := workload.NewDataset([]string{"a", "b"}, []string{"u", "v"})
+	for i := 0; i < 40; i++ {
+		a := float64(i%8) - 4
+		b := float64(i/8) - 2
+		ds.MustAppend(workload.Sample{
+			X: []float64{a, b},
+			Y: []float64{10 + a*a - b, 5 + a + 2*b},
+		})
+	}
+	tc := train.DefaultConfig()
+	tc.MaxEpochs = 150
+	model, err := core.Fit(ds, core.Config{Hidden: []int{6}, Train: &tc, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// writeTestModel persists a freshly trained model and returns its path.
+func writeTestModel(t *testing.T, dir string, seed uint64) string {
+	t.Helper()
+	path := filepath.Join(dir, "model.json")
+	if err := trainTestModel(t, seed).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postPredict(t *testing.T, url string, body any) (*http.Response, PredictResponse, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	var pr PredictResponse
+	json.Unmarshal(buf.Bytes(), &pr)
+	return resp, pr, buf.String()
+}
+
+// TestServeEndToEnd trains, persists, serves, and checks the HTTP answer
+// matches the in-process model prediction exactly.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestModel(t, dir, 1)
+	s, ts := newTestServer(t, Config{ModelPath: path, MaxBatch: 8, MaxWait: time.Millisecond})
+
+	model, err := core.LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1.5, -0.5}
+	want := model.Predict(x)
+
+	resp, pr, raw := postPredict(t, ts.URL, PredictRequest{X: x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if len(pr.Predictions) != 1 || len(pr.Predictions[0]) != len(want) {
+		t.Fatalf("prediction shape %v", pr.Predictions)
+	}
+	for j := range want {
+		if math.Abs(pr.Predictions[0][j]-want[j]) > 1e-9 {
+			t.Fatalf("served prediction %v, want %v", pr.Predictions[0], want)
+		}
+	}
+	if len(pr.TargetNames) != 2 || pr.TargetNames[0] != "u" {
+		t.Fatalf("target names %v", pr.TargetNames)
+	}
+	if pr.Model.Path != path {
+		t.Fatalf("model path %q", pr.Model.Path)
+	}
+	_ = s
+}
+
+// TestServeInstancesAndWarnings: multi-row requests work, and rows outside
+// the training envelope come back with warnings but still predict.
+func TestServeInstancesAndWarnings(t *testing.T) {
+	path := writeTestModel(t, t.TempDir(), 2)
+	_, ts := newTestServer(t, Config{ModelPath: path})
+
+	resp, pr, raw := postPredict(t, ts.URL, PredictRequest{Instances: [][]float64{
+		{0, 0},
+		{100, 100}, // far outside the training envelope
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if len(pr.Predictions) != 2 {
+		t.Fatalf("want 2 predictions, got %d", len(pr.Predictions))
+	}
+	if len(pr.Warnings) == 0 {
+		t.Fatalf("expected envelope warnings, got none (%s)", raw)
+	}
+	if !strings.Contains(pr.Warnings[0], "outside training envelope") {
+		t.Fatalf("warning %q", pr.Warnings[0])
+	}
+}
+
+// TestServeValidation: bad dimensionality and non-finite inputs are 400s,
+// and both are counted on the error surface.
+func TestServeValidation(t *testing.T) {
+	path := writeTestModel(t, t.TempDir(), 3)
+	_, ts := newTestServer(t, Config{ModelPath: path})
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"wrong dims", `{"x":[1,2,3]}`},
+		{"both x and instances", `{"x":[1,2],"instances":[[1,2]]}`},
+		{"neither", `{}`},
+		{"unknown field", `{"vector":[1,2]}`},
+		{"bad json", `{"x":[1,2`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+
+	// JSON cannot carry NaN literally; exercise the finiteness check
+	// through the validation helper directly.
+	ms := &modelState{inputDim: 2, featureNames: []string{"a", "b"}}
+	if _, err := validateRows(ms, [][]float64{{1, math.NaN()}}); err == nil {
+		t.Fatal("NaN input accepted")
+	}
+	if _, err := validateRows(ms, [][]float64{{math.Inf(1), 0}}); err == nil {
+		t.Fatal("Inf input accepted")
+	}
+}
+
+// TestCoalescerBatchesConcurrentRequests drives many concurrent requests
+// through a server configured with a generous gather window and asserts
+// they were answered in fewer forward calls than requests — the
+// micro-batcher actually coalesced.
+func TestCoalescerBatchesConcurrentRequests(t *testing.T) {
+	path := writeTestModel(t, t.TempDir(), 4)
+	s, ts := newTestServer(t, Config{
+		ModelPath: path,
+		MaxBatch:  16,
+		MaxWait:   100 * time.Millisecond,
+		Workers:   1,
+	})
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _, raw := postPredict(t, ts.URL, PredictRequest{X: []float64{float64(i % 5), 1}})
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	batches, rows := s.metrics.batchStats()
+	if rows != n {
+		t.Fatalf("rows inferred = %d, want %d", rows, n)
+	}
+	if batches >= n {
+		t.Fatalf("batches = %d for %d requests — no coalescing happened", batches, n)
+	}
+}
+
+// slowPredictor delays inference so shutdown has something to drain.
+type slowPredictor struct {
+	inner batchPredictor
+	delay time.Duration
+}
+
+func (p *slowPredictor) PredictAll(xs [][]float64) [][]float64 {
+	time.Sleep(p.delay)
+	return p.inner.PredictAll(xs)
+}
+
+// TestGracefulShutdownDrainsInFlight: requests in flight when Shutdown is
+// called complete with 200s; requests arriving after the drain starts are
+// refused.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	path := writeTestModel(t, t.TempDir(), 5)
+	s, err := New(Config{ModelPath: path, Addr: "127.0.0.1:0", MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow the model down so requests are genuinely in flight mid-drain.
+	ms := s.model.Load()
+	slow := *ms
+	slow.pred = &slowPredictor{inner: ms.pred, delay: 80 * time.Millisecond}
+	s.model.Store(&slow)
+
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + s.Addr()
+
+	const n = 4
+	codes := make([]int, n)
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(url+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`))
+			if err != nil {
+				codes[i] = -1
+				bodies[i] = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			codes[i] = resp.StatusCode
+			bodies[i] = buf.String()
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // let the requests reach inference
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request %d got %d (%s), want 200", i, code, bodies[i])
+		}
+	}
+
+	// The listener is closed now: new requests must fail at the wire.
+	if _, err := http.Post(url+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`)); err == nil {
+		t.Fatal("request after shutdown succeeded")
+	}
+}
+
+// TestHotReloadAtomicity hammers /predict while the artifact on disk is
+// rewritten and /-/reload fired repeatedly. Every response must be a 200
+// with finite outputs, and the reload counter must reflect every swap.
+// Run with -race: this is the atomicity test.
+func TestHotReloadAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestModel(t, dir, 6)
+	s, ts := newTestServer(t, Config{ModelPath: path, MaxWait: time.Millisecond})
+
+	// Two alternating artifacts with identical schema, different weights.
+	modelA := trainTestModel(t, 6)
+	modelB := trainTestModel(t, 77)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var badMu sync.Mutex
+	var bad []string
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, pr, raw := postPredict(t, ts.URL, PredictRequest{X: []float64{1, 1}})
+				if resp.StatusCode != http.StatusOK {
+					badMu.Lock()
+					bad = append(bad, fmt.Sprintf("status %d: %s", resp.StatusCode, raw))
+					badMu.Unlock()
+					return
+				}
+				for _, v := range pr.Predictions[0] {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						badMu.Lock()
+						bad = append(bad, fmt.Sprintf("non-finite prediction %v", pr.Predictions[0]))
+						badMu.Unlock()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	const reloads = 20
+	for i := 0; i < reloads; i++ {
+		m := modelA
+		if i%2 == 0 {
+			m = modelB
+		}
+		if err := m.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/-/reload", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %d: status %d", i, resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if len(bad) > 0 {
+		t.Fatalf("prediction failures during reload: %v", bad[0])
+	}
+
+	s.metrics.mu.Lock()
+	gotReloads := s.metrics.reloads
+	s.metrics.mu.Unlock()
+	if gotReloads != reloads {
+		t.Fatalf("reload counter = %d, want %d", gotReloads, reloads)
+	}
+}
+
+// TestMetricsSchema pins the names and shape of the /metrics exposition.
+func TestMetricsSchema(t *testing.T) {
+	path := writeTestModel(t, t.TempDir(), 7)
+	_, ts := newTestServer(t, Config{ModelPath: path, MaxWait: time.Millisecond})
+
+	for i := 0; i < 3; i++ {
+		resp, _, _ := postPredict(t, ts.URL, PredictRequest{X: []float64{1, 2}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict status %d", resp.StatusCode)
+		}
+	}
+	// One rejected request so the error counter shows up.
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"x":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+
+	wants := []string{
+		`nnwc_requests_total{endpoint="predict",code="200"} 3`,
+		`nnwc_requests_total{endpoint="predict",code="400"} 1`,
+		`nnwc_request_errors_total{reason="bad_input"} 1`,
+		`nnwc_request_latency_seconds{quantile="0.5"}`,
+		`nnwc_request_latency_seconds{quantile="0.99"}`,
+		`nnwc_request_latency_seconds_count 4`,
+		`nnwc_batch_size{quantile="0.5"}`,
+		`nnwc_batch_size_sum 3`,
+		`nnwc_model_reloads_total 0`,
+		`nnwc_inflight_requests 0`,
+		`nnwc_model_loaded_timestamp_seconds`,
+		`nnwc_model_info{path=`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, body)
+		}
+	}
+}
+
+// TestHealthAndReadiness: healthz is always up; readyz tracks model
+// presence and draining.
+func TestHealthAndReadiness(t *testing.T) {
+	// No model configured: healthy but not ready.
+	s, ts := newTestServer(t, Config{})
+	for path, want := range map[string]int{
+		"/healthz": http.StatusOK,
+		"/readyz":  http.StatusServiceUnavailable,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	// Predicts are refused without a model.
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict without model = %d, want 503", resp.StatusCode)
+	}
+
+	// Draining flips readiness.
+	s.draining.Store(true)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestCoalescerGather unit-tests the gather logic: pre-queued jobs join the
+// batch immediately and maxBatch is honored.
+func TestCoalescerGather(t *testing.T) {
+	var got [][]int
+	c := newCoalescer(4, 50*time.Millisecond, 64, func(batch []predictJob) {
+		row := make([]int, len(batch))
+		for i := range batch {
+			row[i] = int(batch[i].x[0])
+		}
+		got = append(got, row)
+		for _, j := range batch {
+			j.reply <- predictResult{y: []float64{0}}
+		}
+	})
+	// Queue 9 jobs before starting a single worker: they must drain as
+	// batches of 4, 4, 1 — greedy gather, capped at maxBatch.
+	jobs := make([]predictJob, 9)
+	for i := range jobs {
+		jobs[i] = predictJob{x: []float64{float64(i)}, reply: make(chan predictResult, 1)}
+		c.jobs <- jobs[i]
+	}
+	c.start(1)
+	for i := range jobs {
+		select {
+		case <-jobs[i].reply:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("job %d never answered", i)
+		}
+	}
+	c.shutdown()
+	if len(got) != 3 || len(got[0]) != 4 || len(got[1]) != 4 || len(got[2]) != 1 {
+		t.Fatalf("batch shapes %v, want [4 4 1]", got)
+	}
+}

@@ -26,6 +26,25 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// MeanSkipNaN returns the arithmetic mean of the non-NaN entries of xs.
+// It returns NaN when xs is empty or every entry is NaN — aggregates over
+// undefined metrics must not report a (perfect-looking) number.
+func MeanSkipNaN(xs []float64) float64 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		s += x
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}
+
 // Variance returns the population variance of xs (dividing by n), or 0 for
 // fewer than one element.
 func Variance(xs []float64) float64 {
@@ -133,10 +152,20 @@ func RelativeErrors(actual, pred []float64) []float64 {
 	return out
 }
 
+// RelErrFloor is the floor applied to individual relative errors inside
+// HarmonicMeanRelativeError. The harmonic mean is dominated by its smallest
+// term, so a single coincidentally exact prediction (relative error 0)
+// would otherwise collapse the whole indicator's reported error to 0% and
+// inflate the derived accuracy. Flooring at 1e-6 (0.0001%) keeps exact hits
+// from zeroing the metric while staying far below any error the paper's
+// loose-fit protocol can distinguish.
+const RelErrFloor = 1e-6
+
 // HarmonicMeanRelativeError is the paper's §3.3 validation metric: the
 // harmonic mean of |error|/|actual| over a set of predictions. Zero-valued
-// actuals are skipped; exact predictions (relative error 0) drive the
-// harmonic mean to 0, which we honor by returning 0 when any error is 0.
+// actuals are skipped. Individual relative errors are floored at
+// RelErrFloor so one exact prediction cannot collapse the metric to 0; the
+// result is exactly 0 only when every prediction is exact.
 func HarmonicMeanRelativeError(actual, pred []float64) (float64, error) {
 	if len(actual) != len(pred) {
 		return 0, errors.New("stats: length mismatch")
@@ -145,12 +174,21 @@ func HarmonicMeanRelativeError(actual, pred []float64) (float64, error) {
 	if len(rel) == 0 {
 		return 0, ErrEmpty
 	}
+	allExact := true
+	var s float64
 	for _, r := range rel {
-		if r == 0 {
-			return 0, nil
+		if r != 0 {
+			allExact = false
 		}
+		if r < RelErrFloor {
+			r = RelErrFloor
+		}
+		s += 1 / r
 	}
-	return HarmonicMean(rel)
+	if allExact {
+		return 0, nil
+	}
+	return float64(len(rel)) / s, nil
 }
 
 // MAE returns the mean absolute error between actual and pred.

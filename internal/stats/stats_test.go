@@ -129,13 +129,56 @@ func TestHarmonicMeanRelativeError(t *testing.T) {
 	}
 }
 
-func TestHarmonicMeanRelativeErrorPerfect(t *testing.T) {
+// TestHarmonicMeanRelativeErrorOneExact is the regression test for the
+// accuracy-inflating edge case: one coincidentally exact prediction used to
+// collapse the whole metric to 0. With the RelErrFloor fix the exact hit is
+// floored and the harmonic mean stays informative. Hand computation:
+// rel = {0, 1/6} → floored {1e-6, 1/6} → HM = 2 / (1e6 + 6).
+func TestHarmonicMeanRelativeErrorOneExact(t *testing.T) {
 	h, err := HarmonicMeanRelativeError([]float64{5, 6}, []float64{5, 7})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if h == 0 {
+		t.Fatal("one exact prediction must no longer collapse HMRE to 0")
+	}
+	want := 2.0 / (1e6 + 6)
+	if !close(h, want) {
+		t.Fatalf("HMRE with one exact prediction = %v, want %v", h, want)
+	}
+}
+
+// TestHarmonicMeanRelativeErrorAllExact pins the one case that legitimately
+// reports 0: every prediction exact.
+func TestHarmonicMeanRelativeErrorAllExact(t *testing.T) {
+	h, err := HarmonicMeanRelativeError([]float64{5, 6}, []float64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h != 0 {
-		t.Fatalf("one perfect prediction should yield 0, got %v", h)
+		t.Fatalf("all-exact predictions should yield exactly 0, got %v", h)
+	}
+}
+
+// TestHarmonicMeanRelativeErrorAllZeroActuals: an indicator whose actuals
+// are all zero carries no relative-error information, so the metric must
+// error out (callers report NaN) rather than claim anything.
+func TestHarmonicMeanRelativeErrorAllZeroActuals(t *testing.T) {
+	if _, err := HarmonicMeanRelativeError([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("all-zero actuals should error, not report an accuracy")
+	}
+}
+
+func TestMeanSkipNaN(t *testing.T) {
+	nan := math.NaN()
+	if got := MeanSkipNaN([]float64{1, nan, 3}); !close(got, 2) {
+		t.Fatalf("MeanSkipNaN = %v, want 2", got)
+	}
+	if got := MeanSkipNaN([]float64{nan, nan}); !math.IsNaN(got) {
+		t.Fatalf("all-NaN input should yield NaN, got %v", got)
+	}
+	if got := MeanSkipNaN(nil); !math.IsNaN(got) {
+		t.Fatalf("empty input should yield NaN, got %v", got)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -79,6 +80,12 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			v, err := strconv.ParseFloat(rec[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("workload: CSV line %d field %d: %w", line, i+1, err)
+			}
+			// ParseFloat happily accepts "NaN" and "Inf"; letting them
+			// through would poison standardization and training, so a
+			// non-finite cell is a hard error with its coordinates.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("workload: CSV line %d field %d (%q): non-finite value %q", line, i+1, header[i], rec[i])
 			}
 			if i < len(features) {
 				s.X[i] = v

@@ -104,11 +104,27 @@ func TestReadCSVErrors(t *testing.T) {
 		"bad float":            "a,y:b\n1,zap\n",
 		"short row":            "a,y:b\n1\n",
 		"empty":                "",
+		"NaN feature":          "a,y:b\nNaN,2\n",
+		"Inf target":           "a,y:b\n1,Inf\n",
+		"negative Inf":         "a,y:b\n-Inf,2\n",
 	}
 	for name, data := range cases {
 		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+// TestReadCSVNonFiniteErrorLocation pins the row/column coordinates in the
+// non-finite rejection message so operators can find the bad cell.
+func TestReadCSVNonFiniteErrorLocation(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("a,y:b\n1,2\n3,NaN\n"))
+	if err == nil {
+		t.Fatal("non-finite value accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 3") || !strings.Contains(msg, "field 2") {
+		t.Fatalf("error %q does not name line 3 field 2", msg)
 	}
 }
 

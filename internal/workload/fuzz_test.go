@@ -2,12 +2,14 @@ package workload
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
 
-// FuzzReadCSV asserts ReadCSV never panics on arbitrary input, and that
-// whatever it accepts survives a write/read round trip.
+// FuzzReadCSV asserts ReadCSV never panics on arbitrary input, that it
+// never accepts non-finite values, and that whatever it accepts survives a
+// write/read round trip.
 func FuzzReadCSV(f *testing.F) {
 	f.Add("a,b,y:t\n1,2,3\n")
 	f.Add("a,y:t\n1,2\n-5,1e300\n")
@@ -15,6 +17,10 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("y:t,a\n1,2\n")
 	f.Add("a,y:t\n1\n")
 	f.Add("a,y:t\nx,y\n")
+	f.Add("a,y:t\nNaN,1\n")
+	f.Add("a,y:t\n1,Inf\n")
+	f.Add("a,y:t\n-Inf,+Inf\n")
+	f.Add("a,y:t\n1,1e999\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		ds, err := ReadCSV(strings.NewReader(data))
 		if err != nil {
@@ -22,6 +28,13 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if err := ds.Validate(); err != nil {
 			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		for i, s := range ds.Samples {
+			for _, v := range append(append([]float64(nil), s.X...), s.Y...) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("sample %d: ReadCSV accepted non-finite value %v", i, v)
+				}
+			}
 		}
 		var buf bytes.Buffer
 		if err := ds.WriteCSV(&buf); err != nil {
