@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json serve-bench ci clean
+.PHONY: all build vet test race bench-smoke bench bench-json serve-bench bench-obs ci clean
 
 all: ci
 
@@ -37,6 +37,12 @@ bench-json:
 # written to BENCH_serve.json.
 serve-bench:
 	$(GO) run ./cmd/servebench -out BENCH_serve.json
+
+# Machine-readable benchmark of the observability layer (see DESIGN.md §9):
+# ns/epoch and allocs/epoch with tracing disabled vs enabled, plus a
+# determinism pre-check, written to BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/obsbench -out BENCH_obs.json
 
 ci: build vet race bench-smoke
 

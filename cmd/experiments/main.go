@@ -21,17 +21,20 @@ import (
 	"time"
 
 	"nnwc/internal/experiments"
+	"nnwc/internal/obs"
 	"nnwc/internal/sched"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment id, or 'all'")
-		out     = flag.String("out", "results", "directory for CSV artifacts")
-		seed    = flag.Uint64("seed", 2006, "master seed for data collection and training")
-		quick   = flag.Bool("quick", false, "scaled-down settings (for smoke runs)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent workers for parallel phases (results are identical at any setting)")
+		run       = flag.String("run", "all", "experiment id, or 'all'")
+		out       = flag.String("out", "results", "directory for CSV artifacts")
+		seed      = flag.Uint64("seed", 2006, "master seed for data collection and training")
+		quick     = flag.Bool("quick", false, "scaled-down settings (for smoke runs)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent workers for parallel phases (results are identical at any setting)")
+		traceDir  = flag.String("trace", "", "write a run trace and manifest under this directory (e.g. runs/)")
+		pprofAddr = flag.String("pprof-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
 	)
 	flag.Parse()
 	sched.SetWorkers(*workers)
@@ -43,12 +46,40 @@ func main() {
 		return
 	}
 
+	if *pprofAddr != "" {
+		addr, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: starting debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("experiments: debug server on http://%s\n", addr)
+	}
+	var rec *obs.Run
+	if *traceDir != "" {
+		var err error
+		rec, err = obs.StartRun(*traceDir, "experiments", os.Args[1:])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		rec.Manifest.Seed = *seed
+		rec.Manifest.Workers = sched.Workers(*workers)
+		fmt.Printf("experiments: tracing run %s\n", rec.Dir)
+	}
+	fail := func(format string, args ...any) {
+		err := fmt.Errorf(format, args...)
+		rec.Finish(err)
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+
 	ctx := experiments.New(os.Stdout, *out)
 	if *quick {
 		ctx = experiments.NewQuick(os.Stdout, *out)
 	}
 	ctx.Seed = *seed
 	ctx.Workers = *workers
+	ctx.Trace = rec.Trace()
 
 	var runners []experiments.Runner
 	if *run == "all" {
@@ -57,20 +88,30 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			r, ok := experiments.Lookup(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				fail("unknown experiment %q (use -list)", id)
 			}
 			runners = append(runners, r)
 		}
 	}
 
+	tr := rec.Trace()
 	for _, r := range runners {
 		start := time.Now()
 		fmt.Printf("=== %s: %s ===\n", r.ID, r.Desc)
-		if err := r.Run(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", r.ID, err)
-			os.Exit(1)
+		if tr.Enabled() {
+			tr.Emit("experiment_start", obs.String("id", r.ID))
 		}
-		fmt.Printf("--- %s done in %v ---\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if err := r.Run(ctx); err != nil {
+			fail("%s failed: %w", r.ID, err)
+		}
+		elapsed := time.Since(start)
+		if tr.Enabled() {
+			tr.Emit("experiment_end", obs.String("id", r.ID), obs.Float("ms", float64(elapsed.Nanoseconds())/1e6))
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", r.ID, elapsed.Round(time.Millisecond))
+	}
+	if err := rec.Finish(nil); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: finishing trace: %v\n", err)
+		os.Exit(1)
 	}
 }

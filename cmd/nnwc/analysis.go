@@ -17,35 +17,43 @@ func cmdImportance(args []string) error {
 	repeats := fs.Int("repeats", 5, "permutation repeats")
 	seed := fs.Uint64("seed", 7, "permutation seed")
 	workers := workersFlag(fs)
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	sched.SetWorkers(*workers)
-
-	model, err := loadModel(*modelPath)
-	if err != nil {
+	if err := obsf.start(args); err != nil {
 		return err
 	}
-	ds, err := loadDataset(*data)
-	if err != nil {
-		return err
-	}
-	im, err := sensitivity.PermutationImportance(model, ds, sensitivity.Options{Repeats: *repeats, Seed: *seed, Workers: *workers})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-20s", "feature")
-	for _, n := range im.TargetNames {
-		fmt.Printf(" %20s", n)
-	}
-	fmt.Println()
-	for i, fname := range im.FeatureNames {
-		fmt.Printf("%-20s", fname)
-		for _, v := range im.Scores[i] {
-			fmt.Printf(" %20.3f", v)
+	return obsf.finish(func() error {
+		model, err := loadModel(*modelPath)
+		if err != nil {
+			return err
+		}
+		ds, err := loadDataset(*data)
+		if err != nil {
+			return err
+		}
+		obsf.setDataset(*data)
+		obsf.setSeed(*seed)
+		obsf.setWorkers(sched.Workers(*workers))
+		im, err := sensitivity.PermutationImportance(model, ds, sensitivity.Options{Repeats: *repeats, Seed: *seed, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s", "feature")
+		for _, n := range im.TargetNames {
+			fmt.Printf(" %20s", n)
 		}
 		fmt.Println()
-	}
-	fmt.Println("(relative RMSE increase when the feature is shuffled; larger = more influential)")
-	return nil
+		for i, fname := range im.FeatureNames {
+			fmt.Printf("%-20s", fname)
+			for _, v := range im.Scores[i] {
+				fmt.Printf(" %20.3f", v)
+			}
+			fmt.Println()
+		}
+		fmt.Println("(relative RMSE increase when the feature is shuffled; larger = more influential)")
+		return nil
+	}())
 }
 
 func cmdSelect(args []string) error {
@@ -56,33 +64,44 @@ func cmdSelect(args []string) error {
 	seed := fs.Uint64("seed", 13, "seed")
 	layouts := fs.String("candidates", "4;8;16;32;16,8", "semicolon-separated hidden layouts (each comma-separated)")
 	workers := workersFlag(fs)
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	sched.SetWorkers(*workers)
-
-	ds, err := loadDataset(*data)
-	if err != nil {
+	if err := obsf.start(args); err != nil {
 		return err
 	}
-	var candidates [][]int
-	for _, spec := range strings.Split(*layouts, ";") {
-		layout, err := parseInts(spec)
+	return obsf.finish(func() error {
+		ds, err := loadDataset(*data)
 		if err != nil {
-			return fmt.Errorf("parsing candidate %q: %w", spec, err)
+			return err
 		}
-		candidates = append(candidates, layout)
-	}
-	base, err := modelConfig("16", *epochs, *seed)
-	if err != nil {
-		return err
-	}
-	sel, err := core.SelectNodeCount(ds, base, candidates, *k, *seed)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-14s %10s %12s\n", "hidden", "params", "CV error")
-	for _, cand := range sel.Candidates {
-		fmt.Printf("%-14s %10d %11.2f%%\n", fmt.Sprint(cand.Hidden), cand.Params, cand.Error*100)
-	}
-	fmt.Printf("selected: %v\n", sel.Best.Hidden)
-	return nil
+		obsf.setDataset(*data)
+		obsf.setSeed(*seed)
+		obsf.setWorkers(sched.Workers(*workers))
+		obsf.setConfig("candidates", *layouts)
+		var candidates [][]int
+		for _, spec := range strings.Split(*layouts, ";") {
+			layout, err := parseInts(spec)
+			if err != nil {
+				return fmt.Errorf("parsing candidate %q: %w", spec, err)
+			}
+			candidates = append(candidates, layout)
+		}
+		base, err := modelConfig("16", *epochs, *seed)
+		if err != nil {
+			return err
+		}
+		base.Trace = obsf.trace()
+		sel, err := core.SelectNodeCount(ds, base, candidates, *k, *seed)
+		if err != nil {
+			return err
+		}
+		obsf.metric("best_error", sel.Best.Error)
+		fmt.Printf("%-14s %10s %12s\n", "hidden", "params", "CV error")
+		for _, cand := range sel.Candidates {
+			fmt.Printf("%-14s %10d %11.2f%%\n", fmt.Sprint(cand.Hidden), cand.Params, cand.Error*100)
+		}
+		fmt.Printf("selected: %v\n", sel.Best.Hidden)
+		return nil
+	}())
 }

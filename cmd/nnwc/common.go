@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nnwc/internal/obs"
+)
+
+// obsFlags bundles the observability flags every long-running subcommand
+// shares: -trace (run directory), -quiet, and -pprof-addr. Register with
+// addObsFlags, call start after flag parsing, and wrap the command's error
+// with finish so the manifest records the outcome.
+type obsFlags struct {
+	command string
+	dir     *string
+	quiet   *bool
+	pprof   *string
+
+	run *obs.Run
+}
+
+// addObsFlags registers -trace, -quiet and -pprof-addr on fs.
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{command: fs.Name()}
+	o.dir = fs.String("trace", "", "write a run trace and manifest under this directory (e.g. runs/)")
+	o.quiet = fs.Bool("quiet", false, "suppress informational output (results still print)")
+	o.pprof = fs.String("pprof-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
+	return o
+}
+
+// start activates whatever the flags asked for: the debug server and the
+// run directory. Call once, after fs.Parse; args are recorded verbatim in
+// the manifest.
+func (o *obsFlags) start(args []string) error {
+	if *o.pprof != "" {
+		addr, err := obs.StartDebugServer(*o.pprof)
+		if err != nil {
+			return fmt.Errorf("starting debug server: %w", err)
+		}
+		o.infof("nnwc %s: debug server on http://%s\n", o.command, addr)
+	}
+	if *o.dir != "" {
+		run, err := obs.StartRun(*o.dir, o.command, args)
+		if err != nil {
+			return err
+		}
+		o.run = run
+		o.infof("nnwc %s: tracing run %s\n", o.command, run.Dir)
+	}
+	return nil
+}
+
+// trace returns the run's event stream; nil (disabled) when -trace was not
+// given. Safe to thread into configs unconditionally.
+func (o *obsFlags) trace() *obs.Trace { return o.run.Trace() }
+
+// setDataset records the input dataset's path and hash in the manifest.
+func (o *obsFlags) setDataset(path string) { o.run.SetDataset(path) }
+
+// setSeed records the run's primary seed in the manifest.
+func (o *obsFlags) setSeed(seed uint64) {
+	if o.run != nil {
+		o.run.Manifest.Seed = seed
+	}
+}
+
+// setWorkers records the worker bound in the manifest.
+func (o *obsFlags) setWorkers(workers int) {
+	if o.run != nil {
+		o.run.Manifest.Workers = workers
+	}
+}
+
+// setConfig records one named configuration value in the manifest.
+func (o *obsFlags) setConfig(key string, value any) {
+	if o.run != nil {
+		if o.run.Manifest.Config == nil {
+			o.run.Manifest.Config = map[string]any{}
+		}
+		o.run.Manifest.Config[key] = value
+	}
+}
+
+// metric records one named result (e.g. the overall CV error) in the
+// manifest, so `nnwc runs diff` can compare runs without re-parsing traces.
+func (o *obsFlags) metric(name string, v float64) {
+	if o.run != nil {
+		if o.run.Manifest.Metrics == nil {
+			o.run.Manifest.Metrics = map[string]float64{}
+		}
+		o.run.Manifest.Metrics[name] = v
+	}
+}
+
+// finish completes the run (writing the manifest) and returns the
+// command's error, preferring it over any manifest-write failure.
+func (o *obsFlags) finish(runErr error) error {
+	ferr := o.run.Finish(runErr)
+	if runErr != nil {
+		return runErr
+	}
+	if ferr != nil {
+		return ferr
+	}
+	if o.run != nil {
+		o.infof("nnwc %s: run recorded in %s\n", o.command, o.run.Dir)
+	}
+	return nil
+}
+
+// infof prints unless -quiet; use it for progress chatter, never results.
+func (o *obsFlags) infof(format string, args ...any) {
+	if !*o.quiet {
+		fmt.Printf(format, args...)
+	}
+}

@@ -42,18 +42,25 @@ func cmdDoegen(args []string) error {
 	web := fs.String("web", "8:32", "web-thread range lo:hi")
 	warm := fs.Float64("warmup", 20, "simulated warm-up seconds")
 	window := fs.Float64("window", 80, "simulated measurement seconds")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := obsf.start(args); err != nil {
+		return err
+	}
+	return obsf.finish(cmdDoegenRun(obsf, *out, *design, *n, *levels, *seed, *rate, *def, *mfg, *web, *warm, *window))
+}
 
+func cmdDoegenRun(obsf *obsFlags, out, design string, n, levels int, seed uint64, rate, def, mfg, web string, warm, window float64) error {
 	var d doe.Design
-	switch *design {
+	switch design {
 	case "lhs":
-		d = doe.LatinHypercube{Seed: *seed}
+		d = doe.LatinHypercube{Seed: seed}
 	case "random":
-		d = doe.UniformRandom{Seed: *seed}
+		d = doe.UniformRandom{Seed: seed}
 	case "factorial":
-		d = doe.FullFactorial{Levels: *levels}
+		d = doe.FullFactorial{Levels: levels}
 	default:
-		return fmt.Errorf("unknown design %q (want lhs, random, or factorial)", *design)
+		return fmt.Errorf("unknown design %q (want lhs, random, or factorial)", design)
 	}
 
 	dims := make([]doe.Dimension, 4)
@@ -62,10 +69,10 @@ func cmdDoegen(args []string) error {
 		bound   string
 		integer bool
 	}{
-		{"injection_rate", *rate, false},
-		{"default_threads", *def, true},
-		{"mfg_threads", *mfg, true},
-		{"web_threads", *web, true},
+		{"injection_rate", rate, false},
+		{"default_threads", def, true},
+		{"mfg_threads", mfg, true},
+		{"web_threads", web, true},
 	} {
 		lo, hi, err := parseBound(spec.bound)
 		if err != nil {
@@ -74,7 +81,7 @@ func cmdDoegen(args []string) error {
 		dims[i] = doe.Dimension{Name: spec.name, Lo: lo, Hi: hi, Integer: spec.integer}
 	}
 
-	points, err := d.Points(*n, len(dims))
+	points, err := d.Points(n, len(dims))
 	if err != nil {
 		return err
 	}
@@ -92,13 +99,16 @@ func cmdDoegen(args []string) error {
 	}
 
 	sys := threetier.DefaultSystemParams()
-	sys.WarmupTime, sys.MeasureTime = *warm, *window
-	fmt.Printf("running %d %s-designed configurations...\n", len(configs), d.Name())
-	ds, err := threetier.CollectConfigs(configs, 1, sys, *seed+1)
+	sys.WarmupTime, sys.MeasureTime = warm, window
+	obsf.setSeed(seed)
+	obsf.setConfig("design", d.Name())
+	obsf.setConfig("configurations", len(configs))
+	obsf.infof("running %d %s-designed configurations...\n", len(configs), d.Name())
+	ds, err := threetier.CollectConfigs(configs, 1, sys, seed+1)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
+	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
@@ -106,6 +116,8 @@ func cmdDoegen(args []string) error {
 	if err := ds.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d samples to %s\n", ds.Len(), *out)
+	obsf.metric("samples", float64(ds.Len()))
+	fmt.Printf("wrote %d samples to %s\n", ds.Len(), out)
+	obsf.setDataset(out)
 	return nil
 }

@@ -13,6 +13,11 @@
 //	nnwc recommend -model model.json [-maximize 4] [-bounds 140,80,60,65,inf]
 //	nnwc compare   -data data.csv [-k 5] [-workers N]
 //	nnwc serve     -model model.json [-addr :8080] [-max-batch 64] [-max-wait 2ms] [-workers N]
+//	nnwc runs      list|show|diff [-dir runs] [id...]
+//
+// Long-running subcommands additionally accept -trace DIR (record a JSONL
+// event trace and provenance manifest under DIR), -quiet, and -pprof-addr
+// ADDR (profiling/metrics endpoints); `nnwc runs` inspects recorded traces.
 //
 // Subcommands with parallel phases (crossval, compare, surface, select,
 // importance) accept -workers (default GOMAXPROCS) to bound the
@@ -56,6 +61,8 @@ func main() {
 		err = cmdImportance(os.Args[2:])
 	case "select":
 		err = cmdSelect(os.Args[2:])
+	case "runs":
+		err = cmdRuns(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -85,6 +92,12 @@ subcommands:
   compare    compare linear/polynomial/log/MLP/LNN model families by CV error
   importance permutation feature importance of a trained model on a dataset
   select     automated hidden-node-count selection by cross-validation
+  runs       list, summarize and diff recorded run traces (see -trace)
+
+long-running subcommands share three observability flags:
+  -trace DIR       record a JSONL event trace + provenance manifest under DIR
+  -quiet           suppress progress chatter (results still print)
+  -pprof-addr ADDR serve /debug/pprof, /debug/vars and /metrics on ADDR
 
 run 'nnwc <subcommand> -h' for flags.`)
 }

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nnwc/internal/obs"
+)
+
+// cmdRuns inspects the run directories that -trace writes: list the
+// recorded runs, summarize one run's manifest and trace, or diff the
+// provenance and metrics of two runs.
+func cmdRuns(args []string) error {
+	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	dir := fs.String("dir", "runs", "base directory holding run subdirectories")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage:
+  nnwc runs list   [-dir runs]             list recorded runs
+  nnwc runs show   [-dir runs] <id>        manifest + trace summary of one run
+  nnwc runs diff   [-dir runs] <id> <id>   compare two runs' provenance and metrics
+
+ids may be unambiguous prefixes of run directory names.`)
+		fs.PrintDefaults()
+	}
+	// Allow both `runs list -dir x` and `runs -dir x list`.
+	verb := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		verb, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	rest := fs.Args()
+	if verb == "" && len(rest) > 0 {
+		verb, rest = rest[0], rest[1:]
+	}
+	switch verb {
+	case "", "list":
+		return runsList(*dir)
+	case "show":
+		if len(rest) != 1 {
+			return fmt.Errorf("runs show needs exactly one run id")
+		}
+		return runsShow(*dir, rest[0])
+	case "diff":
+		if len(rest) != 2 {
+			return fmt.Errorf("runs diff needs exactly two run ids")
+		}
+		return runsDiff(*dir, rest[0], rest[1])
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown runs verb %q", verb)
+	}
+}
+
+// listRunDirs returns the run directory names under base (those holding a
+// manifest or a trace), sorted lexically — which is chronological, because
+// run ids embed a UTC timestamp.
+func listRunDirs(base string) ([]string, error) {
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(base, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, obs.ManifestFileName)); err == nil {
+			out = append(out, e.Name())
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, obs.TraceFileName)); err == nil {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// resolveRun matches id against the run directories: exact name first, then
+// a unique prefix.
+func resolveRun(base, id string) (string, error) {
+	names, err := listRunDirs(base)
+	if err != nil {
+		return "", err
+	}
+	var matches []string
+	for _, n := range names {
+		if n == id {
+			return n, nil
+		}
+		if strings.HasPrefix(n, id) {
+			matches = append(matches, n)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return "", fmt.Errorf("no run matches %q under %s", id, base)
+	case 1:
+		return matches[0], nil
+	default:
+		return "", fmt.Errorf("run id %q is ambiguous: %s", id, strings.Join(matches, ", "))
+	}
+}
+
+func runsList(base string) error {
+	names, err := listRunDirs(base)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		fmt.Printf("no runs under %s (run a subcommand with -trace %s to record one)\n", base, base)
+		return nil
+	}
+	fmt.Printf("%-44s %-10s %10s %-8s\n", "run", "command", "duration", "outcome")
+	for _, n := range names {
+		m, err := obs.ReadManifest(filepath.Join(base, n, obs.ManifestFileName))
+		if err != nil {
+			fmt.Printf("%-44s %-10s %10s %-8s\n", n, "?", "?", "no manifest")
+			continue
+		}
+		outcome := m.Outcome
+		if outcome == "" {
+			outcome = "incomplete"
+		}
+		fmt.Printf("%-44s %-10s %9.2fs %-8s\n", n, m.Command, m.DurationSec, outcome)
+	}
+	return nil
+}
+
+func runsShow(base, id string) error {
+	name, err := resolveRun(base, id)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(base, name)
+	m, err := obs.ReadManifest(filepath.Join(dir, obs.ManifestFileName))
+	if err != nil {
+		return fmt.Errorf("reading manifest (is the run still in progress?): %w", err)
+	}
+	fmt.Printf("run:        %s\n", m.RunID)
+	fmt.Printf("command:    %s %s\n", m.Command, strings.Join(m.Args, " "))
+	fmt.Printf("started:    %s\n", m.Start)
+	fmt.Printf("duration:   %.2fs\n", m.DurationSec)
+	fmt.Printf("outcome:    %s\n", m.Outcome)
+	fmt.Printf("toolchain:  %s", m.GoVersion)
+	if m.GitRevision != "" {
+		fmt.Printf(" (%s)", m.GitRevision)
+	}
+	fmt.Println()
+	if m.Seed != 0 {
+		fmt.Printf("seed:       %d\n", m.Seed)
+	}
+	if m.Workers != 0 {
+		fmt.Printf("workers:    %d\n", m.Workers)
+	}
+	if m.DatasetPath != "" {
+		fmt.Printf("dataset:    %s (sha256 %s)\n", m.DatasetPath, m.DatasetHash)
+	}
+	if len(m.Config) > 0 {
+		fmt.Println("config:")
+		for _, k := range sortedKeys(m.Config) {
+			fmt.Printf("  %-18s %v\n", k, m.Config[k])
+		}
+	}
+	if len(m.Metrics) > 0 {
+		fmt.Println("metrics:")
+		for _, k := range sortedKeys(m.Metrics) {
+			fmt.Printf("  %-18s %g\n", k, m.Metrics[k])
+		}
+	}
+
+	f, err := os.Open(filepath.Join(dir, obs.TraceFileName))
+	if err != nil {
+		fmt.Println("trace:      (none)")
+		return nil
+	}
+	defer f.Close()
+	s, err := obs.SummarizeTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace:      %d events\n", s.Events)
+	for _, n := range s.SortedNames() {
+		fmt.Printf("  %-18s %d\n", n, s.ByName[n])
+	}
+	if s.Epochs > 0 {
+		fmt.Printf("training:   through epoch %d, train loss %.4g → %.4g\n", s.Epochs, s.FirstLoss, s.FinalLoss)
+		if !math.IsNaN(s.FinalVal) {
+			fmt.Printf("            final validation loss %.4g\n", s.FinalVal)
+		}
+	}
+	if len(s.StopReasons) > 0 {
+		parts := make([]string, 0, len(s.StopReasons))
+		for _, r := range sortedKeys(s.StopReasons) {
+			parts = append(parts, fmt.Sprintf("%s×%d", r, s.StopReasons[r]))
+		}
+		fmt.Printf("stops:      %s\n", strings.Join(parts, ", "))
+	}
+	if len(s.FoldErrors) > 0 {
+		folds := make([]int, 0, len(s.FoldErrors))
+		for f := range s.FoldErrors {
+			folds = append(folds, f)
+		}
+		sort.Ints(folds)
+		fmt.Println("folds (mean HMRE):")
+		for _, f := range folds {
+			fmt.Printf("  fold %-2d %.2f%%\n", f+1, s.FoldErrors[f]*100)
+		}
+	}
+	if len(s.Spans) > 0 {
+		fmt.Println("spans:")
+		for _, scope := range s.SortedScopes() {
+			t := s.Spans[scope]
+			fmt.Printf("  %-18s ×%-4d %9.1fms total\n", scope, t.Count, t.TotalMS)
+		}
+	}
+	return nil
+}
+
+func runsDiff(base, idA, idB string) error {
+	nameA, err := resolveRun(base, idA)
+	if err != nil {
+		return err
+	}
+	nameB, err := resolveRun(base, idB)
+	if err != nil {
+		return err
+	}
+	ma, err := obs.ReadManifest(filepath.Join(base, nameA, obs.ManifestFileName))
+	if err != nil {
+		return err
+	}
+	mb, err := obs.ReadManifest(filepath.Join(base, nameB, obs.ManifestFileName))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("a: %s\nb: %s\n\n", ma.RunID, mb.RunID)
+	diffStr := func(label, a, b string) {
+		if a == b {
+			fmt.Printf("  %-18s %s\n", label, orDash(a))
+		} else {
+			fmt.Printf("~ %-18s %s → %s\n", label, orDash(a), orDash(b))
+		}
+	}
+	diffStr("command", ma.Command, mb.Command)
+	diffStr("args", strings.Join(ma.Args, " "), strings.Join(mb.Args, " "))
+	diffStr("go", ma.GoVersion, mb.GoVersion)
+	diffStr("revision", ma.GitRevision, mb.GitRevision)
+	diffStr("dataset", ma.DatasetPath, mb.DatasetPath)
+	diffStr("dataset sha256", ma.DatasetHash, mb.DatasetHash)
+	diffStr("seed", fmt.Sprint(ma.Seed), fmt.Sprint(mb.Seed))
+	diffStr("outcome", ma.Outcome, mb.Outcome)
+	fmt.Printf("  %-18s %.2fs → %.2fs\n", "duration", ma.DurationSec, mb.DurationSec)
+
+	keys := map[string]bool{}
+	for k := range ma.Config {
+		keys[k] = true
+	}
+	for k := range mb.Config {
+		keys[k] = true
+	}
+	if len(keys) > 0 {
+		fmt.Println("\nconfig:")
+		for _, k := range sortedKeys(keys) {
+			diffStr(k, fmt.Sprint(ma.Config[k]), fmt.Sprint(mb.Config[k]))
+		}
+	}
+
+	mkeys := map[string]bool{}
+	for k := range ma.Metrics {
+		mkeys[k] = true
+	}
+	for k := range mb.Metrics {
+		mkeys[k] = true
+	}
+	if len(mkeys) > 0 {
+		fmt.Println("\nmetrics:")
+		for _, k := range sortedKeys(mkeys) {
+			va, oka := ma.Metrics[k]
+			vb, okb := mb.Metrics[k]
+			switch {
+			case oka && okb && va == vb:
+				fmt.Printf("  %-18s %g\n", k, va)
+			case oka && okb:
+				delta := ""
+				if va != 0 {
+					delta = fmt.Sprintf(" (%+.2f%%)", (vb-va)/math.Abs(va)*100)
+				}
+				fmt.Printf("~ %-18s %g → %g%s\n", k, va, vb, delta)
+			case oka:
+				fmt.Printf("- %-18s %g → (absent)\n", k, va)
+			default:
+				fmt.Printf("+ %-18s (absent) → %g\n", k, vb)
+			}
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -26,15 +26,23 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request prediction timeout")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent inference workers")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := obsf.start(args); err != nil {
+		return err
+	}
+	return obsf.finish(cmdServeRun(obsf, *modelPath, *addr, *maxBatch, *maxWait, *timeout, *drain, *workers))
+}
 
+func cmdServeRun(obsf *obsFlags, modelPath, addr string, maxBatch int, maxWait, timeout, drainDur time.Duration, workers int) error {
+	drain := &drainDur
 	srv, err := serve.New(serve.Config{
-		Addr:           *addr,
-		ModelPath:      *modelPath,
-		MaxBatch:       *maxBatch,
-		MaxWait:        *maxWait,
-		RequestTimeout: *timeout,
-		Workers:        *workers,
+		Addr:           addr,
+		ModelPath:      modelPath,
+		MaxBatch:       maxBatch,
+		MaxWait:        maxWait,
+		RequestTimeout: timeout,
+		Workers:        workers,
 	})
 	if err != nil {
 		return err
@@ -42,9 +50,12 @@ func cmdServe(args []string) error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("nnwc serve: model %s on http://%s (batch<=%d, wait<=%s, %d workers)\n",
-		*modelPath, srv.Addr(), *maxBatch, *maxWait, *workers)
-	fmt.Println("nnwc serve: SIGHUP reloads the model, SIGINT/SIGTERM drains and exits")
+	obsf.setWorkers(workers)
+	obsf.setConfig("model", modelPath)
+	obsf.setConfig("addr", srv.Addr())
+	obsf.infof("nnwc serve: model %s on http://%s (batch<=%d, wait<=%s, %d workers)\n",
+		modelPath, srv.Addr(), maxBatch, maxWait, workers)
+	obsf.infof("nnwc serve: SIGHUP reloads the model, SIGINT/SIGTERM drains and exits\n")
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Wait() }()

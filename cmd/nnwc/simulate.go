@@ -23,9 +23,17 @@ func cmdSimulate(args []string) error {
 	users := fs.Int("users", 0, "closed-loop user count (0 = open loop)")
 	think := fs.Float64("think", 0.5, "closed-loop mean think time, seconds")
 	asJSON := fs.Bool("json", false, "emit the metrics as JSON instead of the report")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := obsf.start(args); err != nil {
+		return err
+	}
+	return obsf.finish(cmdSimulateRun(obsf, *xStr, *seed, *warm, *window, *users, *think, *asJSON))
+}
 
-	x, err := parseFloats(*xStr)
+func cmdSimulateRun(obsf *obsFlags, xStr string, seed uint64, warm, window float64, users int, think float64, asJSONv bool) error {
+	asJSON := &asJSONv
+	x, err := parseFloats(xStr)
 	if err != nil {
 		return err
 	}
@@ -33,19 +41,22 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *users > 0 {
+	if users > 0 {
 		cfg.Mode = threetier.ClosedLoop
-		cfg.Users = *users
-		cfg.ThinkTime = *think
+		cfg.Users = users
+		cfg.ThinkTime = think
 	}
 	sys := threetier.DefaultSystemParams()
-	sys.WarmupTime, sys.MeasureTime = *warm, *window
+	sys.WarmupTime, sys.MeasureTime = warm, window
 	sys.CollectSamples = true
 
-	m, err := threetier.Run(cfg, sys, *seed)
+	obsf.setSeed(seed)
+	obsf.setConfig("x", xStr)
+	m, err := threetier.Run(cfg, sys, seed)
 	if err != nil {
 		return err
 	}
+	obsf.metric("effective_tps", m.EffectiveTPS)
 	if *asJSON {
 		// Strip the bulky raw samples; everything else serializes.
 		m.Samples = [threetier.NumClasses][]float64{}

@@ -13,6 +13,7 @@ import (
 	"nnwc/internal/core"
 	"nnwc/internal/linear"
 	"nnwc/internal/nn"
+	"nnwc/internal/obs"
 	"nnwc/internal/plot"
 	"nnwc/internal/poly"
 	"nnwc/internal/recommend"
@@ -138,40 +139,51 @@ func cmdDatagen(args []string) error {
 	reps := fs.Int("replicates", 1, "replicates per configuration")
 	warm := fs.Float64("warmup", 20, "simulated warm-up seconds")
 	window := fs.Float64("window", 80, "simulated measurement seconds")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := obsf.start(args); err != nil {
+		return err
+	}
+	return obsf.finish(func() error {
+		spec := threetier.SweepSpec{Replicates: *reps}
+		var err error
+		if spec.InjectionRates, err = parseFloats(*rates); err != nil {
+			return err
+		}
+		if spec.MfgThreads, err = parseInts(*mfg); err != nil {
+			return err
+		}
+		if spec.WebThreads, err = parseInts(*web); err != nil {
+			return err
+		}
+		if spec.DefaultThreads, err = parseInts(*def); err != nil {
+			return err
+		}
+		sys := threetier.DefaultSystemParams()
+		sys.WarmupTime, sys.MeasureTime = *warm, *window
 
-	spec := threetier.SweepSpec{Replicates: *reps}
-	var err error
-	if spec.InjectionRates, err = parseFloats(*rates); err != nil {
-		return err
-	}
-	if spec.MfgThreads, err = parseInts(*mfg); err != nil {
-		return err
-	}
-	if spec.WebThreads, err = parseInts(*web); err != nil {
-		return err
-	}
-	if spec.DefaultThreads, err = parseInts(*def); err != nil {
-		return err
-	}
-	sys := threetier.DefaultSystemParams()
-	sys.WarmupTime, sys.MeasureTime = *warm, *window
-
-	fmt.Printf("running %d configurations × %d replicates...\n", spec.Size(), *reps)
-	ds, err := threetier.Collect(spec, sys, *seed)
-	if err != nil {
-		return err
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := ds.WriteCSV(f); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %d samples to %s\n", ds.Len(), *out)
-	return nil
+		obsf.setSeed(*seed)
+		obsf.setConfig("configurations", spec.Size())
+		obsf.setConfig("replicates", *reps)
+		obsf.infof("running %d configurations × %d replicates...\n", spec.Size(), *reps)
+		ds, err := threetier.Collect(spec, sys, *seed)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ds.WriteCSV(f); err != nil {
+			return err
+		}
+		obsf.metric("samples", float64(ds.Len()))
+		fmt.Printf("wrote %d samples to %s\n", ds.Len(), *out)
+		// The artifact exists now; fingerprint it for the manifest.
+		obsf.setDataset(*out)
+		return nil
+	}())
 }
 
 func cmdTrain(args []string) error {
@@ -181,36 +193,48 @@ func cmdTrain(args []string) error {
 	hidden := fs.String("hidden", "16", "hidden layer sizes, comma separated")
 	epochs := fs.Int("epochs", 2000, "max training epochs")
 	seed := fs.Uint64("seed", 1, "weight-init seed")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
-
-	ds, err := loadDataset(*data)
-	if err != nil {
+	if err := obsf.start(args); err != nil {
 		return err
 	}
-	cfg, err := modelConfig(*hidden, *epochs, *seed)
-	if err != nil {
-		return err
-	}
-	model, err := core.Fit(ds, cfg)
-	if err != nil {
-		return err
-	}
-	if err := model.SaveFile(*modelPath); err != nil {
-		return err
-	}
-	ev, err := core.Evaluate(model, ds)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("trained on %d samples: %d epochs, stop=%s, train loss %.4g\n",
-		ds.Len(), model.TrainResult.Epochs, model.TrainResult.Reason, model.TrainResult.FinalLoss)
-	fmt.Printf("training-set error (HMRE) per indicator:\n")
-	for j, name := range ev.TargetNames {
-		fmt.Printf("  %-24s %s\n", name, fmtPct(ev.HMRE[j], 1, 2))
-	}
-	warnUndefined(ev.Undefined())
-	fmt.Printf("model saved to %s\n", *modelPath)
-	return nil
+	return obsf.finish(func() error {
+		ds, err := loadDataset(*data)
+		if err != nil {
+			return err
+		}
+		obsf.setDataset(*data)
+		obsf.setSeed(*seed)
+		obsf.setConfig("hidden", *hidden)
+		obsf.setConfig("epochs", *epochs)
+		cfg, err := modelConfig(*hidden, *epochs, *seed)
+		if err != nil {
+			return err
+		}
+		cfg.Trace = obsf.trace()
+		model, err := core.Fit(ds, cfg)
+		if err != nil {
+			return err
+		}
+		if err := model.SaveFile(*modelPath); err != nil {
+			return err
+		}
+		ev, err := core.Evaluate(model, ds)
+		if err != nil {
+			return err
+		}
+		obsf.metric("final_loss", model.TrainResult.FinalLoss)
+		obsf.metric("epochs", float64(model.TrainResult.Epochs))
+		obsf.infof("trained on %d samples: %d epochs, stop=%s, train loss %.4g\n",
+			ds.Len(), model.TrainResult.Epochs, model.TrainResult.Reason, model.TrainResult.FinalLoss)
+		fmt.Printf("training-set error (HMRE) per indicator:\n")
+		for j, name := range ev.TargetNames {
+			fmt.Printf("  %-24s %s\n", name, fmtPct(ev.HMRE[j], 1, 2))
+		}
+		warnUndefined(ev.Undefined())
+		fmt.Printf("model saved to %s\n", *modelPath)
+		return nil
+	}())
 }
 
 func cmdCrossval(args []string) error {
@@ -221,55 +245,68 @@ func cmdCrossval(args []string) error {
 	epochs := fs.Int("epochs", 2000, "max training epochs")
 	seed := fs.Uint64("seed", 99, "shuffle/init seed")
 	workers := workersFlag(fs)
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	sched.SetWorkers(*workers)
-
-	ds, err := loadDataset(*data)
-	if err != nil {
+	if err := obsf.start(args); err != nil {
 		return err
 	}
-	cfg, err := modelConfig(*hidden, *epochs, *seed)
-	if err != nil {
-		return err
-	}
-	cv, err := core.CrossValidateWorkers(ds, cfg, *k, *seed, *workers)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-8s", "trial")
-	for _, n := range cv.TargetNames {
-		fmt.Printf(" %22s", n)
-	}
-	fmt.Println()
-	undefined := map[string]bool{}
-	for i, tr := range cv.Trials {
-		fmt.Printf("%-8d", i+1)
-		for j, e := range tr.Errors {
-			fmt.Printf(" %s", fmtPct(e, 21, 1))
-			if math.IsNaN(e) {
-				undefined[cv.TargetNames[j]] = true
-			}
+	return obsf.finish(func() error {
+		ds, err := loadDataset(*data)
+		if err != nil {
+			return err
+		}
+		obsf.setDataset(*data)
+		obsf.setSeed(*seed)
+		obsf.setWorkers(sched.Workers(*workers))
+		obsf.setConfig("hidden", *hidden)
+		obsf.setConfig("epochs", *epochs)
+		obsf.setConfig("k", *k)
+		cfg, err := modelConfig(*hidden, *epochs, *seed)
+		if err != nil {
+			return err
+		}
+		cfg.Trace = obsf.trace()
+		cv, err := core.CrossValidateWorkers(ds, cfg, *k, *seed, *workers)
+		if err != nil {
+			return err
+		}
+		obsf.metric("overall_error", cv.OverallError())
+		fmt.Printf("%-8s", "trial")
+		for _, n := range cv.TargetNames {
+			fmt.Printf(" %22s", n)
 		}
 		fmt.Println()
-	}
-	fmt.Printf("%-8s", "average")
-	for _, e := range cv.Averages {
-		fmt.Printf(" %s", fmtPct(e, 21, 1))
-	}
-	if math.IsNaN(cv.OverallAccuracy()) {
-		fmt.Printf("\noverall prediction accuracy: n/a (no indicator has a defined error)\n")
-	} else {
-		fmt.Printf("\noverall prediction accuracy: %.1f%%\n", cv.OverallAccuracy()*100)
-	}
-	if len(undefined) > 0 {
-		names := make([]string, 0, len(undefined))
-		for n := range undefined {
-			names = append(names, n)
+		undefined := map[string]bool{}
+		for i, tr := range cv.Trials {
+			fmt.Printf("%-8d", i+1)
+			for j, e := range tr.Errors {
+				fmt.Printf(" %s", fmtPct(e, 21, 1))
+				if math.IsNaN(e) {
+					undefined[cv.TargetNames[j]] = true
+				}
+			}
+			fmt.Println()
 		}
-		sort.Strings(names)
-		warnUndefined(names)
-	}
-	return nil
+		fmt.Printf("%-8s", "average")
+		for _, e := range cv.Averages {
+			fmt.Printf(" %s", fmtPct(e, 21, 1))
+		}
+		if math.IsNaN(cv.OverallAccuracy()) {
+			fmt.Printf("\noverall prediction accuracy: n/a (no indicator has a defined error)\n")
+		} else {
+			fmt.Printf("\noverall prediction accuracy: %.1f%%\n", cv.OverallAccuracy()*100)
+		}
+		if len(undefined) > 0 {
+			names := make([]string, 0, len(undefined))
+			for n := range undefined {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			warnUndefined(names)
+		}
+		return nil
+	}())
 }
 
 func cmdPredict(args []string) error {
@@ -308,52 +345,60 @@ func cmdSurface(args []string) error {
 	yr := fs.String("yrange", "8:24:9", "y grid lo:hi:n")
 	csvOut := fs.String("csv", "", "optional CSV output path")
 	workers := workersFlag(fs)
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	sched.SetWorkers(*workers)
-
-	model, err := loadModel(*modelPath)
-	if err != nil {
+	if err := obsf.start(args); err != nil {
 		return err
 	}
-	fixedVec, err := parseFloats(*fixed)
-	if err != nil {
-		return err
-	}
-	xs, err := parseRange(*xr)
-	if err != nil {
-		return err
-	}
-	ys, err := parseRange(*yr)
-	if err != nil {
-		return err
-	}
-	sl := surface.Slice{Fixed: fixedVec, XIndex: *xi, YIndex: *yi, XValues: xs, YValues: ys, Output: *output}
-	grid, err := surface.EvaluateWorkers(model, sl, model.InputDim(), model.OutputDim(), *workers)
-	if err != nil {
-		return err
-	}
-	hm := plot.HeatMap{
-		Title:   fmt.Sprintf("%s over (%s, %s)", model.TargetNames[*output], model.FeatureNames[*xi], model.FeatureNames[*yi]),
-		XLabel:  model.FeatureNames[*xi],
-		YLabel:  model.FeatureNames[*yi],
-		XValues: xs,
-		YValues: ys,
-		Z:       grid.Z,
-	}
-	if err := hm.Render(os.Stdout); err != nil {
-		return err
-	}
-	a := surface.Classify(grid)
-	fmt.Printf("shape: %s — %s\n", a.Shape, a.Advice)
-	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
+	return obsf.finish(func() error {
+		model, err := loadModel(*modelPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return plot.WriteSurfaceCSV(f, xs, ys, grid.Z)
-	}
-	return nil
+		obsf.setWorkers(sched.Workers(*workers))
+		obsf.setConfig("model", *modelPath)
+		obsf.setConfig("output", *output)
+		fixedVec, err := parseFloats(*fixed)
+		if err != nil {
+			return err
+		}
+		xs, err := parseRange(*xr)
+		if err != nil {
+			return err
+		}
+		ys, err := parseRange(*yr)
+		if err != nil {
+			return err
+		}
+		sl := surface.Slice{Fixed: fixedVec, XIndex: *xi, YIndex: *yi, XValues: xs, YValues: ys, Output: *output}
+		grid, err := surface.EvaluateTraced(model, sl, model.InputDim(), model.OutputDim(), *workers, obsf.trace())
+		if err != nil {
+			return err
+		}
+		hm := plot.HeatMap{
+			Title:   fmt.Sprintf("%s over (%s, %s)", model.TargetNames[*output], model.FeatureNames[*xi], model.FeatureNames[*yi]),
+			XLabel:  model.FeatureNames[*xi],
+			YLabel:  model.FeatureNames[*yi],
+			XValues: xs,
+			YValues: ys,
+			Z:       grid.Z,
+		}
+		if err := hm.Render(os.Stdout); err != nil {
+			return err
+		}
+		a := surface.Classify(grid)
+		fmt.Printf("shape: %s — %s\n", a.Shape, a.Advice)
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return plot.WriteSurfaceCSV(f, xs, ys, grid.Z)
+		}
+		return nil
+	}())
 }
 
 func cmdRecommend(args []string) error {
@@ -365,21 +410,32 @@ func cmdRecommend(args []string) error {
 	hi := fs.String("hi", "560,16,24,24", "space upper bounds")
 	seed := fs.Uint64("seed", 7, "search seed")
 	pareto := fs.Bool("pareto", false, "report the Pareto front over (min response times, max throughput) instead of one SLA optimum")
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := obsf.start(args); err != nil {
+		return err
+	}
+	return obsf.finish(cmdRecommendRun(obsf, *modelPath, *maximize, *boundsStr, *lo, *hi, *seed, *pareto))
+}
 
-	model, err := loadModel(*modelPath)
+func cmdRecommendRun(obsf *obsFlags, modelPath string, maximizeV int, boundsStr, lo, hi string, seedV uint64, paretoV bool) error {
+	maximize, seed, pareto := &maximizeV, &seedV, &paretoV
+	model, err := loadModel(modelPath)
 	if err != nil {
 		return err
 	}
-	bounds, err := parseFloats(*boundsStr)
+	obsf.setSeed(*seed)
+	obsf.setConfig("model", modelPath)
+	obsf.setConfig("maximize", *maximize)
+	bounds, err := parseFloats(boundsStr)
 	if err != nil {
 		return err
 	}
-	loV, err := parseFloats(*lo)
+	loV, err := parseFloats(lo)
 	if err != nil {
 		return err
 	}
-	hiV, err := parseFloats(*hi)
+	hiV, err := parseFloats(hi)
 	if err != nil {
 		return err
 	}
@@ -422,6 +478,7 @@ func cmdRecommend(args []string) error {
 	if err != nil {
 		return err
 	}
+	obsf.metric("best_score", res.Best.Score)
 	fmt.Printf("best configuration (score %.3f):\n", res.Best.Score)
 	for i, name := range model.FeatureNames {
 		fmt.Printf("  %-20s %g\n", name, res.Best.X[i])
@@ -441,14 +498,25 @@ func cmdCompare(args []string) error {
 	epochs := fs.Int("epochs", 2000, "MLP training epochs")
 	seed := fs.Uint64("seed", 99, "seed")
 	workers := workersFlag(fs)
+	obsf := addObsFlags(fs)
 	fs.Parse(args)
 	sched.SetWorkers(*workers)
+	if err := obsf.start(args); err != nil {
+		return err
+	}
+	return obsf.finish(cmdCompareRun(obsf, *data, *k, *hidden, *epochs, *seed, *workers))
+}
 
-	ds, err := loadDataset(*data)
+func cmdCompareRun(obsf *obsFlags, data string, k int, hidden string, epochs int, seed uint64, workers int) error {
+	ds, err := loadDataset(data)
 	if err != nil {
 		return err
 	}
-	mlpCfg, err := modelConfig(*hidden, *epochs, *seed)
+	obsf.setDataset(data)
+	obsf.setSeed(seed)
+	obsf.setWorkers(sched.Workers(workers))
+	obsf.setConfig("k", k)
+	mlpCfg, err := modelConfig(hidden, epochs, seed)
 	if err != nil {
 		return err
 	}
@@ -484,17 +552,22 @@ func cmdCompare(args []string) error {
 	}
 
 	shuffled := ds.Clone()
-	shuffled.Shuffle(rng.New(*seed))
-	folds, err := shuffled.KFold(*k)
+	shuffled.Shuffle(rng.New(seed))
+	folds, err := shuffled.KFold(k)
 	if err != nil {
 		return err
 	}
 	// Every (family, fold) cell fits independently; fan the grid out and
-	// reduce each family's folds in ascending order afterwards.
-	cells, err := sched.Map(*workers, len(fams)**k, func(idx int) (float64, error) {
-		fi, f := idx / *k, idx%*k
+	// reduce each family's folds in ascending order afterwards. Cell spans
+	// buffer per index and replay in order, keeping the trace deterministic.
+	fork := obsf.trace().Fork(len(fams) * k)
+	cells, err := sched.MapWorker(workers, len(fams)*k, func(idx, w int) (float64, error) {
+		fi, f := idx/k, idx%k
+		slot := fork.Slot(idx)
+		span := slot.StartSpan("compare-cell", idx, w)
+		defer span.End()
 		trainSet, valSet := shuffled.TrainValidation(folds, f)
-		model, err := fams[fi].fit(trainSet, *seed+uint64(f))
+		model, err := fams[fi].fit(trainSet, seed+uint64(f))
 		if err != nil {
 			return 0, fmt.Errorf("%s fold %d: %w", fams[fi].name, f+1, err)
 		}
@@ -502,18 +575,28 @@ func cmdCompare(args []string) error {
 		if err != nil {
 			return 0, err
 		}
-		return stats.MeanSkipNaN(ev.HMRE), nil
+		mean := stats.MeanSkipNaN(ev.HMRE)
+		if slot.Enabled() {
+			slot.Emit("compare_cell",
+				obs.String("family", fams[fi].name),
+				obs.Int("fold", f),
+				obs.Float("mean_hmre", mean),
+			)
+		}
+		return mean, nil
 	})
+	fork.Join()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%-12s %12s\n", "model", "mean HMRE")
 	for fi, fm := range fams {
 		var errSum float64
-		for f := 0; f < *k; f++ {
-			errSum += cells[fi**k+f]
+		for f := 0; f < k; f++ {
+			errSum += cells[fi*k+f]
 		}
-		fmt.Printf("%-12s %11.2f%%\n", fm.name, errSum/float64(*k)*100)
+		fmt.Printf("%-12s %11.2f%%\n", fm.name, errSum/float64(k)*100)
+		obsf.metric("hmre_"+fm.name, errSum/float64(k))
 	}
 	return nil
 }

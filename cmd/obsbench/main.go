@@ -1,0 +1,213 @@
+// Command obsbench measures what the observability layer costs on the
+// training hot loop and emits a machine-readable report (BENCH_obs.json).
+// It times batch epochs with tracing disabled (the default path, pinned
+// elsewhere to zero allocations) and with a per-epoch trace attached, and
+// reports the marginal cost per epoch plus the relative overhead.
+//
+// Before timing it re-verifies the layer's core contract: a traced run
+// must produce bit-identical training results to an untraced one, and two
+// traced runs must canonicalize to byte-identical event streams.
+//
+// Usage:
+//
+//	obsbench [-out BENCH_obs.json] [-quick]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"nnwc/internal/nn"
+	"nnwc/internal/obs"
+	"nnwc/internal/rng"
+	"nnwc/internal/train"
+)
+
+// side is one measured configuration (tracing disabled or enabled).
+type side struct {
+	NsPerEpoch     float64 `json:"ns_per_epoch"`
+	AllocsPerEpoch float64 `json:"allocs_per_epoch"`
+	BytesPerEpoch  float64 `json:"bytes_per_epoch"`
+	Iterations     int     `json:"iterations"`
+}
+
+type report struct {
+	GoVersion              string  `json:"go_version"`
+	NumCPU                 int     `json:"num_cpu"`
+	Quick                  bool    `json:"quick"`
+	Samples                int     `json:"samples"`
+	Epochs                 int     `json:"epochs_per_fit"`
+	DeterminismOK          bool    `json:"determinism_ok"`
+	Disabled               side    `json:"tracing_disabled"`
+	Enabled                side    `json:"tracing_enabled"`
+	OverheadPct            float64 `json:"overhead_pct"`
+	MarginalAllocsPerEpoch float64 `json:"marginal_allocs_per_epoch"`
+}
+
+// fixture is one reproducible training problem: network, data, and the
+// initial parameters to restore before each fit.
+type fixture struct {
+	net        *nn.Network
+	initParams []float64
+	xs, ys     [][]float64
+	cfg        train.Config
+}
+
+func newFixture(samples, epochs int, trace *obs.Trace) *fixture {
+	src := rng.New(17)
+	net := nn.NewNetwork([]int{4, 16, 5}, nn.Logistic{Alpha: 1}, nn.Identity{})
+	nn.XavierInit{}.Init(net, src)
+	var xs, ys [][]float64
+	for i := 0; i < samples; i++ {
+		x := []float64{src.Float64(), src.Float64(), src.Float64(), src.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, []float64{x[0], x[1] * x[2], x[3], x[0] + x[1], x[2]})
+	}
+	return &fixture{
+		net:        net,
+		initParams: append([]float64(nil), net.Params()...),
+		xs:         xs,
+		ys:         ys,
+		cfg: train.Config{
+			Optimizer:   train.NewRPROP(),
+			Mode:        train.Batch,
+			MaxEpochs:   epochs,
+			RecordEvery: 1, // worst case: every epoch emits an event
+			Trace:       trace,
+		},
+	}
+}
+
+// fit restores the initial weights and trains once, returning the result.
+func (f *fixture) fit() (train.Result, error) {
+	f.net.SetParams(f.initParams)
+	tr, err := train.New(f.cfg, rng.New(2))
+	if err != nil {
+		return train.Result{}, err
+	}
+	return tr.Fit(f.net, f.xs, f.ys, nil, nil)
+}
+
+// verifyDeterminism checks that tracing is inert (identical weights and
+// losses) and that the trace itself is reproducible byte-for-byte after
+// canonicalization.
+func verifyDeterminism(samples, epochs int) error {
+	plain := newFixture(samples, epochs, nil)
+	resPlain, err := plain.fit()
+	if err != nil {
+		return err
+	}
+
+	tracedOnce := func() (*fixture, train.Result, []byte, error) {
+		var buf bytes.Buffer
+		f := newFixture(samples, epochs, obs.NewTraceNoTime(obs.NewWriterSink(&buf)))
+		res, err := f.fit()
+		if err != nil {
+			return nil, train.Result{}, nil, err
+		}
+		canon, err := obs.CanonicalizeJSONL(buf.Bytes())
+		return f, res, canon, err
+	}
+	f1, res1, trace1, err := tracedOnce()
+	if err != nil {
+		return err
+	}
+	_, _, trace2, err := tracedOnce()
+	if err != nil {
+		return err
+	}
+
+	if res1.FinalLoss != resPlain.FinalLoss || res1.Epochs != resPlain.Epochs {
+		return fmt.Errorf("tracing perturbed training: loss %v vs %v", res1.FinalLoss, resPlain.FinalLoss)
+	}
+	pp, tp := plain.net.Params(), f1.net.Params()
+	for i := range pp {
+		if pp[i] != tp[i] {
+			return fmt.Errorf("tracing perturbed weight %d: %v vs %v", i, pp[i], tp[i])
+		}
+	}
+	if !bytes.Equal(trace1, trace2) {
+		return fmt.Errorf("repeated traced runs produced different canonical traces")
+	}
+	if len(trace1) == 0 {
+		return fmt.Errorf("traced run emitted no events")
+	}
+	return nil
+}
+
+// measure benchmarks one side and converts per-fit numbers to per-epoch.
+func measure(samples, epochs int, trace *obs.Trace) side {
+	f := newFixture(samples, epochs, trace)
+	if _, err := f.fit(); err != nil { // warm-up outside the timer
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.fit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	e := float64(epochs)
+	return side{
+		NsPerEpoch:     float64(r.NsPerOp()) / e,
+		AllocsPerEpoch: float64(r.AllocsPerOp()) / e,
+		BytesPerEpoch:  float64(r.AllocedBytesPerOp()) / e,
+		Iterations:     r.N,
+	}
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_obs.json", "output JSON path")
+		quick = flag.Bool("quick", false, "smaller dataset and epoch budget (CI smoke)")
+	)
+	flag.Parse()
+
+	samples, epochs := 300, 400
+	if *quick {
+		samples, epochs = 80, 100
+	}
+
+	if err := verifyDeterminism(samples, epochs); err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench: determinism check failed:", err)
+		os.Exit(1)
+	}
+
+	disabled := measure(samples, epochs, nil)
+	enabled := measure(samples, epochs, obs.NewTrace(obs.NewWriterSink(io.Discard)))
+
+	rep := report{
+		GoVersion:              runtime.Version(),
+		NumCPU:                 runtime.NumCPU(),
+		Quick:                  *quick,
+		Samples:                samples,
+		Epochs:                 epochs,
+		DeterminismOK:          true,
+		Disabled:               disabled,
+		Enabled:                enabled,
+		OverheadPct:            (enabled.NsPerEpoch - disabled.NsPerEpoch) / disabled.NsPerEpoch * 100,
+		MarginalAllocsPerEpoch: enabled.AllocsPerEpoch - disabled.AllocsPerEpoch,
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("obsbench: disabled %.0f ns/epoch, enabled %.0f ns/epoch (%+.2f%%), marginal allocs/epoch %.2f → %s\n",
+		disabled.NsPerEpoch, enabled.NsPerEpoch, rep.OverheadPct, rep.MarginalAllocsPerEpoch, *out)
+}

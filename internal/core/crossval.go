@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"nnwc/internal/obs"
 	"nnwc/internal/rng"
 	"nnwc/internal/sched"
 	"nnwc/internal/stats"
@@ -73,10 +74,26 @@ func CrossValidateWorkers(ds *workload.Dataset, cfg Config, k int, seed uint64, 
 		Trials:      make([]Trial, k),
 		Averages:    make([]float64, ds.NumTargets()),
 	}
-	err = sched.ForEach(sched.Workers(workers), k, func(f int) error {
+	if cfg.Trace.Enabled() {
+		cfg.Trace.Emit("cv_start",
+			obs.Int("folds", k),
+			obs.Int("samples", ds.Len()),
+			obs.Int("targets", ds.NumTargets()),
+		)
+	}
+	// Folds run concurrently, so their trace events would interleave
+	// nondeterministically; the fork buffers each fold's events in a
+	// per-fold slot and Join replays them in fold order — the trace-side
+	// analogue of the in-order error reduction below.
+	fork := cfg.Trace.Fork(k)
+	err = sched.ForEachWorker(sched.Workers(workers), k, func(f, w int) error {
+		slot := fork.Slot(f)
+		span := slot.StartSpan("cv-fold", f, w)
+		defer span.End()
 		trainSet, valSet := shuffled.TrainValidation(folds, f)
 		trialCfg := cfg
 		trialCfg.Seed = sched.FoldSeed(seed, f)
+		trialCfg.Trace = slot
 		model, err := Fit(trainSet, trialCfg)
 		if err != nil {
 			return fmt.Errorf("core: trial %d: %w", f+1, err)
@@ -91,8 +108,20 @@ func CrossValidateWorkers(ds *workload.Dataset, cfg Config, k int, seed uint64, 
 			Val:    valSet,
 			Errors: ev.HMRE,
 		}
+		if slot.Enabled() {
+			fields := make([]obs.Field, 0, 3+len(ev.HMRE))
+			fields = append(fields,
+				obs.Int("fold", f),
+				obs.String("stop_reason", string(model.TrainResult.Reason)),
+				obs.Float("mean_hmre", stats.MeanSkipNaN(ev.HMRE)))
+			for j, e := range ev.HMRE {
+				fields = append(fields, obs.Float("hmre_"+res.TargetNames[j], e))
+			}
+			slot.Emit("fold", fields...)
+		}
 		return nil
 	})
+	fork.Join()
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +145,14 @@ func CrossValidateWorkers(ds *workload.Dataset, cfg Config, k int, seed uint64, 
 		} else {
 			res.Averages[j] = sum / float64(defined)
 		}
+	}
+	if cfg.Trace.Enabled() {
+		fields := make([]obs.Field, 0, 1+len(res.Averages))
+		fields = append(fields, obs.Float("overall_error", res.OverallError()))
+		for j, a := range res.Averages {
+			fields = append(fields, obs.Float("avg_hmre_"+res.TargetNames[j], a))
+		}
+		cfg.Trace.Emit("cv_summary", fields...)
 	}
 	return res, nil
 }

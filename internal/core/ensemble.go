@@ -34,15 +34,23 @@ func FitEnsembleWorkers(ds *workload.Dataset, cfg Config, n, workers int) (*Ense
 	if n < 1 {
 		return nil, errors.New("core: ensemble needs at least one member")
 	}
-	members, err := sched.Map(sched.Workers(workers), n, func(i int) (*NNModel, error) {
+	// Members train concurrently; per-member trace events buffer in fork
+	// slots and replay in member order so the trace is deterministic.
+	fork := cfg.Trace.Fork(n)
+	members, err := sched.MapWorker(sched.Workers(workers), n, func(i, w int) (*NNModel, error) {
+		slot := fork.Slot(i)
+		span := slot.StartSpan("ensemble-member", i, w)
+		defer span.End()
 		memberCfg := cfg
 		memberCfg.Seed = sched.TaskSeed(cfg.Seed, i)
+		memberCfg.Trace = slot
 		m, err := Fit(ds, memberCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: training ensemble member %d: %w", i+1, err)
 		}
 		return m, nil
 	})
+	fork.Join()
 	if err != nil {
 		return nil, err
 	}

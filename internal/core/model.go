@@ -19,6 +19,7 @@ import (
 
 	"nnwc/internal/mat"
 	"nnwc/internal/nn"
+	"nnwc/internal/obs"
 	"nnwc/internal/preprocess"
 	"nnwc/internal/rng"
 	"nnwc/internal/sched"
@@ -93,6 +94,10 @@ type Config struct {
 	Train *train.Config
 	// Seed drives weight initialization and any training shuffles.
 	Seed uint64
+	// Trace receives structured run events (training epochs, fold
+	// summaries, spans). nil disables tracing. Traces never consume
+	// randomness, so results are identical with tracing on or off.
+	Trace *obs.Trace
 }
 
 // Defaults fills unset fields and returns the completed config.
@@ -219,7 +224,11 @@ func fitWithValidation(ds, val *workload.Dataset, cfg Config) (*NNModel, error) 
 	src := rng.New(cfg.Seed)
 	cfg.Init.Init(m.Net, src)
 
-	trainer, err := train.New(*cfg.Train, src.Split())
+	tc := *cfg.Train
+	if cfg.Trace != nil {
+		tc.Trace = cfg.Trace
+	}
+	trainer, err := train.New(tc, src.Split())
 	if err != nil {
 		return nil, err
 	}

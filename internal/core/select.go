@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nnwc/internal/obs"
 	"nnwc/internal/workload"
 )
 
@@ -57,6 +58,13 @@ func SelectNodeCount(ds *workload.Dataset, base Config, candidates [][]int, k in
 			Error:  cv.OverallError(),
 			Params: params,
 		})
+		if base.Trace.Enabled() {
+			base.Trace.Emit("select_candidate",
+				obs.String("hidden", fmt.Sprint(hidden)),
+				obs.Int("params", params),
+				obs.Float("error", cv.OverallError()),
+			)
+		}
 	}
 	best := res.Candidates[0]
 	for _, c := range res.Candidates[1:] {

@@ -7,6 +7,7 @@ import (
 	"nnwc/internal/linear"
 	"nnwc/internal/nn"
 	"nnwc/internal/nn/rbf"
+	"nnwc/internal/obs"
 	"nnwc/internal/poly"
 	"nnwc/internal/preprocess"
 	"nnwc/internal/rng"
@@ -107,9 +108,14 @@ func (c *Context) RunBaseline() error {
 	// Every (fold, family) cell is an independent fit; fan the grid out.
 	// Cell seeds depend only on the fold index, and the per-family
 	// accumulation below runs serially in the historical (fold, family)
-	// order, so the table is bit-identical at any worker count.
-	cells, err := sched.Map(c.workers(), c.Folds*len(fams), func(idx int) ([]float64, error) {
+	// order, so the table is bit-identical at any worker count. Cell spans
+	// buffer per cell index and replay in cell order for the same reason.
+	fork := c.Trace.Fork(c.Folds * len(fams))
+	cells, err := sched.MapWorker(c.workers(), c.Folds*len(fams), func(idx, w int) ([]float64, error) {
 		f, fi := idx/len(fams), idx%len(fams)
+		slot := fork.Slot(idx)
+		span := slot.StartSpan("baseline-cell", idx, w)
+		defer span.End()
 		trainSet, valSet := shuffled.TrainValidation(folds, f)
 		model, err := fams[fi].fit(trainSet, c.Seed+uint64(f))
 		if err != nil {
@@ -119,8 +125,16 @@ func (c *Context) RunBaseline() error {
 		if err != nil {
 			return nil, err
 		}
+		if slot.Enabled() {
+			slot.Emit("baseline_cell",
+				obs.Int("fold", f),
+				obs.String("family", fams[fi].name),
+				obs.Float("mean_hmre", stats.MeanSkipNaN(ev.HMRE)),
+			)
+		}
 		return ev.HMRE, nil
 	})
+	fork.Join()
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"nnwc/internal/core"
+	"nnwc/internal/obs"
 	"nnwc/internal/sched"
 	"nnwc/internal/threetier"
 	"nnwc/internal/train"
@@ -50,6 +51,11 @@ type Context struct {
 	// scheduler default). Seeds derive from task indices, so reports and
 	// artifacts are bit-identical at every setting.
 	Workers int
+
+	// Trace receives structured run events from the experiments and the
+	// model fits underneath them. nil disables tracing; results are
+	// identical either way.
+	Trace *obs.Trace
 
 	dataset *workload.Dataset
 	cv      *core.CVResult
@@ -114,7 +120,9 @@ func (c *Context) CrossValidation() (*core.CVResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		cv, err := core.CrossValidateWorkers(ds, c.Model, c.Folds, c.Seed+1, c.Workers)
+		cfg := c.Model
+		cfg.Trace = c.Trace
+		cv, err := core.CrossValidateWorkers(ds, cfg, c.Folds, c.Seed+1, c.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +139,9 @@ func (c *Context) FullModel() (*core.NNModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := core.Fit(ds, c.Model)
+		cfg := c.Model
+		cfg.Trace = c.Trace
+		m, err := core.Fit(ds, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Canonical file names inside a run directory.
+const (
+	TraceFileName    = "trace.jsonl"
+	ManifestFileName = "manifest.json"
+)
+
+// Manifest is a run's provenance record, written as manifest.json next to
+// its trace: what ran, on what data, with what configuration and seeds, on
+// which toolchain, and how it ended. `nnwc runs` lists, summarizes and
+// diffs these.
+type Manifest struct {
+	RunID       string             `json:"run_id"`
+	Command     string             `json:"command"`
+	Args        []string           `json:"args,omitempty"`
+	Start       string             `json:"start,omitempty"` // RFC3339Nano, UTC
+	End         string             `json:"end,omitempty"`
+	DurationSec float64            `json:"duration_sec,omitempty"`
+	Seed        uint64             `json:"seed,omitempty"`
+	Workers     int                `json:"workers,omitempty"`
+	GoVersion   string             `json:"go_version"`
+	GitRevision string             `json:"git_revision,omitempty"`
+	Hostname    string             `json:"hostname,omitempty"`
+	Config      map[string]any     `json:"config,omitempty"`
+	DatasetPath string             `json:"dataset_path,omitempty"`
+	DatasetHash string             `json:"dataset_sha256,omitempty"`
+	Outcome     string             `json:"outcome,omitempty"` // "ok" or "error: ..."
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NewRunID derives a run identifier from the command name, the start time
+// and the process id — unique enough for a runs directory without
+// consuming any randomness.
+func NewRunID(command string, start time.Time) string {
+	return fmt.Sprintf("%s-%s-p%d", command, start.UTC().Format("20060102T150405.000"), os.Getpid())
+}
+
+// GitRevision reports the VCS revision stamped into the binary (via
+// debug.ReadBuildInfo), with a "+dirty" suffix when the working tree was
+// modified, or "" when the build carries no VCS info (e.g. `go test`).
+func GitRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	return rev + dirty
+}
+
+// HashFile returns the hex SHA-256 of a file's bytes — the dataset
+// fingerprint recorded in manifests so two runs can be compared on exactly
+// the data they saw.
+func HashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// fillToolchain stamps the Go toolchain, VCS revision and hostname.
+func (m *Manifest) fillToolchain() {
+	m.GoVersion = runtime.Version()
+	m.GitRevision = GitRevision()
+	if host, err := os.Hostname(); err == nil {
+		m.Hostname = host
+	}
+}
+
+// WriteManifest writes m as indented JSON to path.
+func WriteManifest(path string, m *Manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadManifest loads a manifest.json.
+func ReadManifest(path string) (*Manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(buf, m); err != nil {
+		return nil, fmt.Errorf("obs: parsing %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,266 @@
+// Package metrics is the shared Prometheus-text metrics registry: typed
+// counters, labeled counter vectors, recent-window summaries and gauges
+// with a deterministic exposition order, so both the prediction server's
+// /metrics and the debug endpoint's training-side counters render through
+// one exporter and the schema stays pin-testable.
+//
+// A Registry renders metrics in registration order; within a labeled
+// metric, cells render sorted by label values. Quantile summaries compute
+// over a fixed-capacity ring of recent observations (tracking current
+// behaviour, not the process lifetime) exactly like the server's original
+// registry did.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nnwc/internal/stats"
+)
+
+// Registry holds metrics and renders them in registration order.
+type Registry struct {
+	mu   sync.Mutex
+	list []renderer
+}
+
+type renderer interface {
+	render(w io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// defaultRegistry is the process-wide registry behind Default: library
+// counters (training epochs, scheduler tasks) register here and the debug
+// endpoint serves it at /metrics.
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}
+
+func (r *Registry) add(m renderer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.list = append(r.list, m)
+}
+
+// Write renders the Prometheus text exposition of every metric, in
+// registration order.
+func (r *Registry) Write(w io.Writer) {
+	r.mu.Lock()
+	list := append([]renderer(nil), r.list...)
+	r.mu.Unlock()
+	for _, m := range list {
+		m.render(w)
+	}
+}
+
+func header(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter is a monotonically increasing uint64. Safe for concurrent use;
+// Inc/Add never allocate, so counters may sit on hot loops.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.add(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) render(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+}
+
+// labelSep joins label values into one map key; it cannot appear in a
+// well-formed label value.
+const labelSep = "\x1f"
+
+// CounterVec is a counter with a fixed set of label names; each distinct
+// label-value tuple is one cell. Cells render sorted by label values.
+type CounterVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	cells      map[string]uint64
+}
+
+// CounterVec registers and returns a labeled counter.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{name: name, help: help, labels: labels, cells: make(map[string]uint64)}
+	r.add(v)
+	return v
+}
+
+func (v *CounterVec) key(values []string) string {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// Inc adds one to the cell identified by the label values.
+func (v *CounterVec) Inc(values ...string) { v.Add(1, values...) }
+
+// Add adds n to the cell identified by the label values.
+func (v *CounterVec) Add(n uint64, values ...string) {
+	k := v.key(values)
+	v.mu.Lock()
+	v.cells[k] += n
+	v.mu.Unlock()
+}
+
+// Value returns one cell's count.
+func (v *CounterVec) Value(values ...string) uint64 {
+	k := v.key(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.cells[k]
+}
+
+func (v *CounterVec) render(w io.Writer) {
+	header(w, v.name, v.help, "counter")
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.cells))
+	for k := range v.cells {
+		keys = append(keys, k)
+	}
+	vals := make(map[string]uint64, len(v.cells))
+	for k, n := range v.cells {
+		vals[k] = n
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.Split(k, labelSep)
+		pairs := make([]string, len(parts))
+		for i, p := range parts {
+			pairs[i] = fmt.Sprintf("%s=%q", v.labels[i], p)
+		}
+		fmt.Fprintf(w, "%s{%s} %d\n", v.name, strings.Join(pairs, ","), vals[k])
+	}
+}
+
+// GaugeFunc renders a single instantaneous value read from fn.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// GaugeFunc registers a gauge whose value is read at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.add(g)
+	return g
+}
+
+func (g *GaugeFunc) render(w io.Writer) {
+	header(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %g\n", g.name, g.fn())
+}
+
+// ring is a fixed-capacity ring buffer of recent observations; quantiles
+// computed over it track current behaviour instead of averaging over the
+// process lifetime.
+type ring struct {
+	buf  []float64
+	n    int // observations stored (≤ cap)
+	next int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]float64, capacity)} }
+
+func (r *ring) add(v float64) {
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// snapshot copies the stored observations (unordered — fine for quantiles).
+func (r *ring) snapshot() []float64 {
+	out := make([]float64, r.n)
+	if r.n < len(r.buf) {
+		copy(out, r.buf[:r.n])
+	} else {
+		copy(out, r.buf)
+	}
+	return out
+}
+
+// Summary tracks a distribution: lifetime sum and count plus quantiles
+// over a recent-observation window.
+type Summary struct {
+	name, help string
+	quantiles  []float64
+	mu         sync.Mutex
+	window     *ring
+	sum        float64
+	count      uint64
+}
+
+// Summary registers a quantile summary with the given window capacity.
+func (r *Registry) Summary(name, help string, window int, quantiles ...float64) *Summary {
+	s := &Summary{name: name, help: help, quantiles: quantiles, window: newRing(window)}
+	r.add(s)
+	return s
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.window.add(v)
+	s.sum += v
+	s.count++
+	s.mu.Unlock()
+}
+
+// Stats returns the lifetime count and sum.
+func (s *Summary) Stats() (count uint64, sum float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count, s.sum
+}
+
+func (s *Summary) render(w io.Writer) {
+	s.mu.Lock()
+	snap := s.window.snapshot()
+	sum, count := s.sum, s.count
+	s.mu.Unlock()
+	header(w, s.name, s.help, "summary")
+	if len(snap) > 0 {
+		for _, q := range s.quantiles {
+			fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", s.name, q, stats.Quantile(snap, q))
+		}
+	}
+	fmt.Fprintf(w, "%s_sum %g\n", s.name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", s.name, count)
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	var b strings.Builder
+	r.Write(&b)
+	want := "# HELP test_total test counter\n# TYPE test_total counter\ntest_total 5\n"
+	if b.String() != want {
+		t.Fatalf("rendered %q, want %q", b.String(), want)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestCounterVecSortedRendering(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "endpoint", "status")
+	v.Inc("/predict", "500")
+	v.Add(3, "/predict", "200")
+	v.Inc("/healthz", "200")
+	if v.Value("/predict", "200") != 3 {
+		t.Fatalf("cell = %d, want 3", v.Value("/predict", "200"))
+	}
+	var b strings.Builder
+	r.Write(&b)
+	got := b.String()
+	want := `# HELP req_total requests
+# TYPE req_total counter
+req_total{endpoint="/healthz",status="200"} 1
+req_total{endpoint="/predict",status="200"} 3
+req_total{endpoint="/predict",status="500"} 1
+`
+	if got != want {
+		t.Fatalf("rendered %q, want %q", got, want)
+	}
+}
+
+func TestCounterVecLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label arity")
+		}
+	}()
+	v.Inc("only-one")
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	val := 2.5
+	r.GaugeFunc("g", "gauge", func() float64 { return val })
+	var b strings.Builder
+	r.Write(&b)
+	if !strings.Contains(b.String(), "g 2.5\n") {
+		t.Fatalf("rendered %q", b.String())
+	}
+	val = 7
+	b.Reset()
+	r.Write(&b)
+	if !strings.Contains(b.String(), "g 7\n") {
+		t.Fatalf("gauge not re-read at render: %q", b.String())
+	}
+}
+
+func TestSummaryWindow(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("lat", "latency", 4, 0.5)
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Observe(v)
+	}
+	count, sum := s.Stats()
+	if count != 4 || sum != 10 {
+		t.Fatalf("Stats = (%d, %g), want (4, 10)", count, sum)
+	}
+	// Overflow the window: the quantile must track only the recent 4.
+	for _, v := range []float64{100, 100, 100, 100} {
+		s.Observe(v)
+	}
+	var b strings.Builder
+	r.Write(&b)
+	got := b.String()
+	if !strings.Contains(got, `lat{quantile="0.5"} 100`) {
+		t.Fatalf("windowed quantile should be 100: %q", got)
+	}
+	if !strings.Contains(got, "lat_sum 410\n") || !strings.Contains(got, "lat_count 8\n") {
+		t.Fatalf("lifetime sum/count wrong: %q", got)
+	}
+}
+
+func TestRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz", "")
+	r.Counter("aaa", "")
+	var b strings.Builder
+	r.Write(&b)
+	got := b.String()
+	if strings.Index(got, "zzz") > strings.Index(got, "aaa") {
+		t.Fatalf("metrics must render in registration order, got %q", got)
+	}
+}
+
+func TestDefaultIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default registry must be process-wide")
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"nnwc/internal/obs/metrics"
+)
+
+// StartDebugServer serves the profiling and introspection endpoints on
+// addr in a background goroutine and returns the bound address (useful
+// with ":0"):
+//
+//	/debug/pprof/*  net/http/pprof (CPU, heap, goroutine, block profiles)
+//	/debug/vars     expvar (cmdline, memstats)
+//	/metrics        the process-wide metrics registry, Prometheus text
+//
+// It backs the -pprof-addr flag of long-running commands. The server is
+// deliberately not shut down gracefully — it dies with the process.
+func StartDebugServer(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.Default().Write(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

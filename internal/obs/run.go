@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Run is one traced invocation: a directory under the runs base holding
+// trace.jsonl (the event stream) and manifest.json (provenance, written at
+// Finish). A nil *Run is valid and inert, so commands can thread it
+// unconditionally and only pay when the user asked for -trace.
+type Run struct {
+	Dir      string
+	Manifest Manifest
+
+	trace *Trace
+	file  *os.File
+	start time.Time
+}
+
+// StartRun creates baseDir/<run-id>/, opens the trace stream, and stamps
+// the manifest's start-side fields (command, args, toolchain). Call Finish
+// before exiting to complete the manifest.
+func StartRun(baseDir, command string, args []string) (*Run, error) {
+	start := time.Now()
+	id := NewRunID(command, start)
+	dir := filepath.Join(baseDir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: creating run directory: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, TraceFileName))
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating trace: %w", err)
+	}
+	r := &Run{
+		Dir:   dir,
+		trace: NewTrace(NewWriterSink(f)),
+		file:  f,
+		start: start,
+	}
+	r.Manifest = Manifest{
+		RunID:   id,
+		Command: command,
+		Args:    append([]string(nil), args...),
+		Start:   start.UTC().Format(time.RFC3339Nano),
+	}
+	r.Manifest.fillToolchain()
+	return r, nil
+}
+
+// Trace returns the run's event stream (nil on a nil run).
+func (r *Run) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// SetDataset records the dataset's path and SHA-256 fingerprint in the
+// manifest. Hash failures are recorded in place of the digest rather than
+// failing the run — provenance must never abort the work it describes.
+func (r *Run) SetDataset(path string) {
+	if r == nil || path == "" {
+		return
+	}
+	r.Manifest.DatasetPath = path
+	if h, err := HashFile(path); err == nil {
+		r.Manifest.DatasetHash = h
+	} else {
+		r.Manifest.DatasetHash = fmt.Sprintf("unavailable: %v", err)
+	}
+}
+
+// Finish completes the run: stamps end time, duration and outcome, writes
+// manifest.json, and closes the trace stream. Safe on a nil run.
+func (r *Run) Finish(runErr error) error {
+	if r == nil {
+		return nil
+	}
+	end := time.Now()
+	r.Manifest.End = end.UTC().Format(time.RFC3339Nano)
+	r.Manifest.DurationSec = end.Sub(r.start).Seconds()
+	if runErr != nil {
+		r.Manifest.Outcome = "error: " + runErr.Error()
+	} else {
+		r.Manifest.Outcome = "ok"
+	}
+	merr := WriteManifest(filepath.Join(r.Dir, ManifestFileName), &r.Manifest)
+	cerr := r.file.Close()
+	if merr != nil {
+		return merr
+	}
+	return cerr
+}

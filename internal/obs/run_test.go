@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ManifestFileName)
+	m := &Manifest{
+		RunID:       "crossval-20260805T120000.000-p1",
+		Command:     "crossval",
+		Args:        []string{"-data", "d.csv", "-k", "5"},
+		Seed:        42,
+		Workers:     4,
+		Config:      map[string]any{"hidden": "16"},
+		DatasetPath: "d.csv",
+		DatasetHash: "abc123",
+		Outcome:     "ok",
+		Metrics:     map[string]float64{"overall_error": 0.05},
+	}
+	m.fillToolchain()
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RunID != m.RunID || got.Command != m.Command || got.Seed != 42 || got.Workers != 4 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if got.Metrics["overall_error"] != 0.05 {
+		t.Fatalf("metrics lost: %v", got.Metrics)
+	}
+	if got.GoVersion == "" {
+		t.Fatal("GoVersion not stamped")
+	}
+}
+
+func TestNewRunIDShape(t *testing.T) {
+	ts := time.Date(2026, 8, 5, 12, 30, 45, 123e6, time.UTC)
+	id := NewRunID("crossval", ts)
+	if !strings.HasPrefix(id, "crossval-20260805T123045.123-p") {
+		t.Fatalf("run id %q has unexpected shape", id)
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	base := t.TempDir()
+	r, err := StartRun(base, "crossval", []string{"-k", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Trace()
+	if !tr.Enabled() {
+		t.Fatal("run trace should be enabled")
+	}
+	tr.Emit("cv_start", Int("folds", 4))
+	r.Manifest.Seed = 7
+	r.Manifest.Metrics = map[string]float64{"overall_error": 0.04}
+	if err := r.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := ReadManifest(filepath.Join(r.Dir, ManifestFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Outcome != "ok" {
+		t.Fatalf("outcome %q, want ok", m.Outcome)
+	}
+	if m.End == "" || m.DurationSec < 0 {
+		t.Fatalf("end-side fields not stamped: %+v", m)
+	}
+	data, err := os.ReadFile(filepath.Join(r.Dir, TraceFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ev":"cv_start"`) {
+		t.Fatalf("trace missing event: %q", data)
+	}
+}
+
+func TestRunFinishError(t *testing.T) {
+	base := t.TempDir()
+	r, err := StartRun(base, "train", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(errors.New("boom")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(filepath.Join(r.Dir, ManifestFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Outcome != "error: boom" {
+		t.Fatalf("outcome %q, want error: boom", m.Outcome)
+	}
+}
+
+func TestNilRunIsInert(t *testing.T) {
+	var r *Run
+	if r.Trace().Enabled() {
+		t.Fatal("nil run's trace should be disabled")
+	}
+	r.SetDataset("whatever.csv")
+	if err := r.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDataset(t *testing.T) {
+	base := t.TempDir()
+	ds := filepath.Join(base, "d.csv")
+	if err := os.WriteFile(ds, []byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := StartRun(base, "train", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetDataset(ds)
+	if r.Manifest.DatasetPath != ds {
+		t.Fatalf("dataset path %q", r.Manifest.DatasetPath)
+	}
+	if len(r.Manifest.DatasetHash) != 64 {
+		t.Fatalf("dataset hash %q is not a sha256 hex digest", r.Manifest.DatasetHash)
+	}
+	if err := r.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// TraceSummary condenses a JSONL trace for display: event counts, the loss
+// trajectory endpoints, per-fold errors, and per-scope span totals. It is
+// what `nnwc runs show` prints.
+type TraceSummary struct {
+	Events      int
+	ByName      map[string]int
+	Epochs      int     // highest epoch seen
+	FirstLoss   float64 // train loss of the first epoch event (NaN if none)
+	FinalLoss   float64 // train loss of the last epoch event (NaN if none)
+	FinalVal    float64 // validation loss of the last epoch event (NaN if none)
+	StopReasons map[string]int
+	FoldErrors  map[int]float64 // fold index → mean HMRE, from fold events
+	Spans       map[string]SpanTotal
+}
+
+// SpanTotal aggregates one scope's spans.
+type SpanTotal struct {
+	Count   int
+	TotalMS float64
+}
+
+// num extracts a float from a decoded JSON value, NaN otherwise (including
+// the null that non-finite fields render as).
+func num(v any) float64 {
+	switch x := v.(type) {
+	case json.Number:
+		f, err := x.Float64()
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	case float64:
+		return x
+	}
+	return math.NaN()
+}
+
+// SummarizeTrace scans a JSONL trace stream.
+func SummarizeTrace(r io.Reader) (*TraceSummary, error) {
+	s := &TraceSummary{
+		ByName:      map[string]int{},
+		StopReasons: map[string]int{},
+		FoldErrors:  map[int]float64{},
+		Spans:       map[string]SpanTotal{},
+		FirstLoss:   math.NaN(),
+		FinalLoss:   math.NaN(),
+		FinalVal:    math.NaN(),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(sc.Bytes()))
+		dec.UseNumber()
+		obj := map[string]any{}
+		if err := dec.Decode(&obj); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		name, _ := obj["ev"].(string)
+		s.Events++
+		s.ByName[name]++
+		switch name {
+		case "epoch":
+			if e := int(num(obj["epoch"])); e > s.Epochs {
+				s.Epochs = e
+			}
+			loss := num(obj["train_loss"])
+			if math.IsNaN(s.FirstLoss) {
+				s.FirstLoss = loss
+			}
+			s.FinalLoss = loss
+			s.FinalVal = num(obj["val_loss"])
+		case "fit_end":
+			if reason, ok := obj["stop_reason"].(string); ok {
+				s.StopReasons[reason]++
+			}
+		case "fold":
+			s.FoldErrors[int(num(obj["fold"]))] = num(obj["mean_hmre"])
+		case "span":
+			scope, _ := obj["scope"].(string)
+			t := s.Spans[scope]
+			t.Count++
+			if ms := num(obj["ms"]); !math.IsNaN(ms) {
+				t.TotalMS += ms
+			}
+			s.Spans[scope] = t
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SortedNames returns the event names in lexical order.
+func (s *TraceSummary) SortedNames() []string {
+	names := make([]string, 0, len(s.ByName))
+	for n := range s.ByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SortedScopes returns the span scopes in lexical order.
+func (s *TraceSummary) SortedScopes() []string {
+	scopes := make([]string, 0, len(s.Spans))
+	for sc := range s.Spans {
+		scopes = append(scopes, sc)
+	}
+	sort.Strings(scopes)
+	return scopes
+}

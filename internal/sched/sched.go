@@ -18,7 +18,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"nnwc/internal/obs/metrics"
 )
+
+// tasksTotal counts every task the pools execute — a cheap liveness signal
+// for the /metrics debug endpoint. One atomic add per task, no allocation.
+var tasksTotal = metrics.Default().Counter("nnwc_sched_tasks_total",
+	"Tasks executed by the deterministic scheduler.")
 
 // defaultWorkers is the process-wide worker count used when a call site
 // passes workers <= 0. Zero means "use GOMAXPROCS at call time".
@@ -70,6 +77,15 @@ func TaskSeed(base uint64, i int) uint64 { return base + uint64(i)*taskStride }
 // of the lowest-indexed failing task is returned, so error reporting is as
 // deterministic as the results.
 func ForEach(workers, n int, task func(i int) error) error {
+	return ForEachWorker(workers, n, func(i, _ int) error { return task(i) })
+}
+
+// ForEachWorker is ForEach with the executing worker's identity handed to
+// each task — the hook the observability spans use to attribute wall time.
+// Which worker runs which task is a scheduling accident; tasks must not
+// let it influence results (seeds and result slots key off the task index
+// alone). The inline workers<=1 path always reports worker 0.
+func ForEachWorker(workers, n int, task func(i, worker int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -80,7 +96,8 @@ func ForEach(workers, n int, task func(i int) error) error {
 		// Inline fast path: no goroutines, identical semantics.
 		var first error
 		for i := 0; i < n; i++ {
-			if err := task(i); err != nil && first == nil {
+			tasksTotal.Inc()
+			if err := task(i, 0); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -91,16 +108,17 @@ func ForEach(workers, n int, task func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = task(i)
+				tasksTotal.Inc()
+				errs[i] = task(i, w)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -114,9 +132,15 @@ func ForEach(workers, n int, task func(i int) error) error {
 // Map runs task(i) for every i in [0, n) on at most `workers` goroutines
 // and returns the results in task order. Error semantics match ForEach.
 func Map[T any](workers, n int, task func(i int) (T, error)) ([]T, error) {
+	return MapWorker(workers, n, func(i, _ int) (T, error) { return task(i) })
+}
+
+// MapWorker is Map with the executing worker's identity handed to each
+// task; see ForEachWorker for the attribution caveat.
+func MapWorker[T any](workers, n int, task func(i, worker int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
-		v, err := task(i)
+	err := ForEachWorker(workers, n, func(i, w int) error {
+		v, err := task(i, w)
 		if err != nil {
 			return err
 		}

@@ -3,114 +3,75 @@ package serve
 import (
 	"fmt"
 	"io"
-	"sort"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 
-	"nnwc/internal/stats"
+	"nnwc/internal/obs/metrics"
 )
 
-// ring is a fixed-capacity ring buffer of recent observations. Quantiles on
-// /metrics are computed over this window so they track current behaviour
-// instead of averaging over the process lifetime.
-type ring struct {
-	buf  []float64
-	n    int // observations stored (≤ cap)
-	next int
-}
+// metricsWindow is the recent-observation window quantiles compute over.
+const metricsWindow = 4096
 
-func newRing(capacity int) *ring { return &ring{buf: make([]float64, capacity)} }
+var latencyQuantiles = []float64{0.5, 0.9, 0.99}
 
-func (r *ring) add(v float64) {
-	r.buf[r.next] = v
-	r.next = (r.next + 1) % len(r.buf)
-	if r.n < len(r.buf) {
-		r.n++
-	}
-}
-
-// snapshot copies the stored observations (unordered — fine for quantiles).
-func (r *ring) snapshot() []float64 {
-	out := make([]float64, r.n)
-	if r.n < len(r.buf) {
-		copy(out, r.buf[:r.n])
-	} else {
-		copy(out, r.buf)
-	}
-	return out
-}
-
-// requestKey identifies one counter cell of nnwc_requests_total.
-type requestKey struct {
-	endpoint string
-	code     int
-}
-
-// metricsRegistry is the server's observability surface: request/error
-// counters, latency and batch-size distributions (recent-window quantiles
-// via stats.Quantile), and reload bookkeeping. All methods are safe for
-// concurrent use.
+// metricsRegistry is the server's observability surface, built on the
+// shared exporter in internal/obs/metrics: request/error counters, latency
+// and batch-size distributions (recent-window quantiles), and reload
+// bookkeeping. All methods are safe for concurrent use. The exposition
+// schema (names, label sets, ordering) is pinned by TestMetricsSchema.
 type metricsRegistry struct {
-	mu        sync.Mutex
-	requests  map[requestKey]uint64
-	errors    map[string]uint64 // by reason
-	latency   *ring             // /predict wall time, seconds
-	latCount  uint64
-	latSum    float64
-	batchSize *ring // rows per coalesced forward call
-	batches   uint64
-	rows      uint64
-	reloads   uint64
+	reg       *metrics.Registry
+	requests  *metrics.CounterVec
+	errors    *metrics.CounterVec
+	latency   *metrics.Summary
+	batchSize *metrics.Summary
+	reloads   *metrics.Counter
 	inflight  atomic.Int64
 }
 
 func newMetricsRegistry() *metricsRegistry {
-	return &metricsRegistry{
-		requests:  make(map[requestKey]uint64),
-		errors:    make(map[string]uint64),
-		latency:   newRing(4096),
-		batchSize: newRing(4096),
-	}
+	m := &metricsRegistry{reg: metrics.NewRegistry()}
+	m.requests = m.reg.CounterVec("nnwc_requests_total",
+		"Requests served, by endpoint and status code.", "endpoint", "code")
+	m.errors = m.reg.CounterVec("nnwc_request_errors_total",
+		"Rejected or failed requests, by reason.", "reason")
+	m.latency = m.reg.Summary("nnwc_request_latency_seconds",
+		"Prediction latency over the recent window.", metricsWindow, latencyQuantiles...)
+	m.batchSize = m.reg.Summary("nnwc_batch_size",
+		"Rows per coalesced forward call over the recent window.", metricsWindow, latencyQuantiles...)
+	m.reloads = m.reg.Counter("nnwc_model_reloads_total",
+		"Successful model hot reloads since start.")
+	m.reg.GaugeFunc("nnwc_inflight_requests",
+		"Predict requests currently being handled.",
+		func() float64 { return float64(m.inflight.Load()) })
+	return m
 }
 
 func (m *metricsRegistry) observeRequest(endpoint string, code int, seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[requestKey{endpoint, code}]++
+	m.requests.Inc(endpoint, strconv.Itoa(code))
 	if endpoint == "predict" {
-		m.latency.add(seconds)
-		m.latCount++
-		m.latSum += seconds
+		m.latency.Observe(seconds)
 	}
 }
 
 func (m *metricsRegistry) observeError(reason string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.errors[reason]++
+	m.errors.Inc(reason)
 }
 
 func (m *metricsRegistry) observeBatch(size int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.batchSize.add(float64(size))
-	m.batches++
-	m.rows += uint64(size)
+	m.batchSize.Observe(float64(size))
 }
 
 func (m *metricsRegistry) observeReload() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.reloads++
+	m.reloads.Inc()
 }
 
 // batchStats returns (batches, rows) — used by tests and the bench driver
 // to verify coalescing actually happened.
 func (m *metricsRegistry) batchStats() (batches, rows uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.batches, m.rows
+	count, sum := m.batchSize.Stats()
+	return count, uint64(sum)
 }
 
 // modelMeta is the metadata slice of /metrics, snapshotted from the
@@ -122,69 +83,10 @@ type modelMeta struct {
 	targets    int
 }
 
-var latencyQuantiles = []float64{0.5, 0.9, 0.99}
-
-// write renders the Prometheus text exposition format. Output ordering is
-// deterministic so the /metrics schema is pin-testable.
+// write renders the Prometheus text exposition format: the registry's
+// metrics in registration order, then the per-request model metadata.
 func (m *metricsRegistry) write(w io.Writer, meta *modelMeta) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintln(w, "# HELP nnwc_requests_total Requests served, by endpoint and status code.")
-	fmt.Fprintln(w, "# TYPE nnwc_requests_total counter")
-	keys := make([]requestKey, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].endpoint != keys[j].endpoint {
-			return keys[i].endpoint < keys[j].endpoint
-		}
-		return keys[i].code < keys[j].code
-	})
-	for _, k := range keys {
-		fmt.Fprintf(w, "nnwc_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
-	}
-
-	fmt.Fprintln(w, "# HELP nnwc_request_errors_total Rejected or failed requests, by reason.")
-	fmt.Fprintln(w, "# TYPE nnwc_request_errors_total counter")
-	reasons := make([]string, 0, len(m.errors))
-	for r := range m.errors {
-		reasons = append(reasons, r)
-	}
-	sort.Strings(reasons)
-	for _, r := range reasons {
-		fmt.Fprintf(w, "nnwc_request_errors_total{reason=%q} %d\n", r, m.errors[r])
-	}
-
-	fmt.Fprintln(w, "# HELP nnwc_request_latency_seconds Prediction latency over the recent window.")
-	fmt.Fprintln(w, "# TYPE nnwc_request_latency_seconds summary")
-	if lat := m.latency.snapshot(); len(lat) > 0 {
-		for _, q := range latencyQuantiles {
-			fmt.Fprintf(w, "nnwc_request_latency_seconds{quantile=\"%g\"} %g\n", q, stats.Quantile(lat, q))
-		}
-	}
-	fmt.Fprintf(w, "nnwc_request_latency_seconds_sum %g\n", m.latSum)
-	fmt.Fprintf(w, "nnwc_request_latency_seconds_count %d\n", m.latCount)
-
-	fmt.Fprintln(w, "# HELP nnwc_batch_size Rows per coalesced forward call over the recent window.")
-	fmt.Fprintln(w, "# TYPE nnwc_batch_size summary")
-	if bs := m.batchSize.snapshot(); len(bs) > 0 {
-		for _, q := range latencyQuantiles {
-			fmt.Fprintf(w, "nnwc_batch_size{quantile=\"%g\"} %g\n", q, stats.Quantile(bs, q))
-		}
-	}
-	fmt.Fprintf(w, "nnwc_batch_size_sum %d\n", m.rows)
-	fmt.Fprintf(w, "nnwc_batch_size_count %d\n", m.batches)
-
-	fmt.Fprintln(w, "# HELP nnwc_model_reloads_total Successful model hot reloads since start.")
-	fmt.Fprintln(w, "# TYPE nnwc_model_reloads_total counter")
-	fmt.Fprintf(w, "nnwc_model_reloads_total %d\n", m.reloads)
-
-	fmt.Fprintln(w, "# HELP nnwc_inflight_requests Predict requests currently being handled.")
-	fmt.Fprintln(w, "# TYPE nnwc_inflight_requests gauge")
-	fmt.Fprintf(w, "nnwc_inflight_requests %d\n", m.inflight.Load())
-
+	m.reg.Write(w)
 	if meta != nil {
 		fmt.Fprintln(w, "# HELP nnwc_model_loaded_timestamp_seconds Unix time the serving model was loaded.")
 		fmt.Fprintln(w, "# TYPE nnwc_model_loaded_timestamp_seconds gauge")

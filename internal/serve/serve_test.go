@@ -365,9 +365,7 @@ func TestHotReloadAtomicity(t *testing.T) {
 		t.Fatalf("prediction failures during reload: %v", bad[0])
 	}
 
-	s.metrics.mu.Lock()
-	gotReloads := s.metrics.reloads
-	s.metrics.mu.Unlock()
+	gotReloads := s.metrics.reloads.Value()
 	if gotReloads != reloads {
 		t.Fatalf("reload counter = %d, want %d", gotReloads, reloads)
 	}

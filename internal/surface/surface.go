@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"nnwc/internal/core"
+	"nnwc/internal/obs"
 	"nnwc/internal/sched"
 )
 
@@ -69,11 +70,22 @@ func Evaluate(p core.Predictor, s Slice, inputDim, outputDim int) (*Grid, error)
 // surface is bit-identical across worker counts and to the historical
 // single-batch path.
 func EvaluateWorkers(p core.Predictor, s Slice, inputDim, outputDim, workers int) (*Grid, error) {
+	return EvaluateTraced(p, s, inputDim, outputDim, workers, nil)
+}
+
+// EvaluateTraced is EvaluateWorkers with a span per grid row emitted to tr
+// (nil disables tracing). Row spans buffer per row index and replay in row
+// order, so the trace is deterministic across worker counts.
+func EvaluateTraced(p core.Predictor, s Slice, inputDim, outputDim, workers int, tr *obs.Trace) (*Grid, error) {
 	if err := s.Validate(inputDim, outputDim); err != nil {
 		return nil, err
 	}
 	z := make([][]float64, len(s.XValues))
-	err := sched.ForEach(sched.Workers(workers), len(s.XValues), func(i int) error {
+	fork := tr.Fork(len(s.XValues))
+	err := sched.ForEachWorker(sched.Workers(workers), len(s.XValues), func(i, w int) error {
+		slot := fork.Slot(i)
+		span := slot.StartSpan("surface-row", i, w)
+		defer span.End()
 		rows := make([][]float64, len(s.YValues))
 		for j, yv := range s.YValues {
 			x := make([]float64, inputDim)
@@ -90,6 +102,7 @@ func EvaluateWorkers(p core.Predictor, s Slice, inputDim, outputDim, workers int
 		z[i] = zi
 		return nil
 	})
+	fork.Join()
 	if err != nil {
 		return nil, err
 	}

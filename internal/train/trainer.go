@@ -7,8 +7,15 @@ import (
 
 	"nnwc/internal/mat"
 	"nnwc/internal/nn"
+	"nnwc/internal/obs"
+	"nnwc/internal/obs/metrics"
 	"nnwc/internal/rng"
 )
+
+// epochsTotal counts training epochs across every Fit in the process — one
+// atomic add per epoch, visible on the -pprof-addr /metrics endpoint.
+var epochsTotal = metrics.Default().Counter("nnwc_train_epochs_total",
+	"Training epochs executed across all fits.")
 
 // Mode selects how gradients are applied within an epoch.
 type Mode int
@@ -65,9 +72,19 @@ type Config struct {
 	Patience int
 	MinDelta float64
 
-	// RecordEvery appends a telemetry point every k epochs (and always on
-	// the last). 0 records every epoch.
+	// RecordEvery appends a telemetry point every k epochs, and always on
+	// the epoch training stops — whether that is the epoch budget, the loss
+	// threshold, early stopping, or divergence. 0 records every epoch. The
+	// same cadence gates trace events when Trace is set.
 	RecordEvery int
+
+	// Trace receives structured training events (fit_start, per-epoch
+	// losses and norms on the RecordEvery cadence, fit_end with the stop
+	// reason). nil disables tracing; the disabled path adds zero
+	// allocations to the epoch loop. Tracing never consumes randomness or
+	// reorders floating-point work, so results are bit-identical with it
+	// on or off.
+	Trace *obs.Trace
 
 	// WeightDecay adds an L2 penalty λ‖w‖²/2 on the weights (not biases):
 	// the gradient gains a λ·w term before each optimizer step. It is the
@@ -125,6 +142,8 @@ type Trainer struct {
 	X, Y     mat.Matrix      // contiguous copies of the training rows
 	VX, VY   mat.Matrix      // contiguous copies of the validation rows
 	parallel parallelScratch // block-sharded accumulators for Workers > 1
+
+	prevParams []float64 // pre-step parameter snapshot for step-norm telemetry
 }
 
 // New returns a Trainer with the given configuration and random source
@@ -192,27 +211,40 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 	bestEpoch := 0
 	var bestParams []float64
 
-	record := func(epoch int, trainLoss, valLoss float64) {
-		every := t.cfg.RecordEvery
-		if every <= 0 {
-			every = 1
-		}
-		if epoch%every == 0 || epoch == t.cfg.MaxEpochs {
-			res.History = append(res.History, HistoryPoint{Epoch: epoch, TrainLoss: trainLoss, ValLoss: valLoss})
-		}
+	every := t.cfg.RecordEvery
+	if every <= 0 {
+		every = 1
+	}
+	// onCadence decides both history recording and trace emission: every
+	// k-th epoch, plus the epoch training stops for any reason — max
+	// epochs, threshold, early stopping, or divergence — so the last state
+	// of a run is never silently dropped between sample points.
+	onCadence := func(epoch int, stopping bool) bool {
+		return epoch%every == 0 || stopping
+	}
+
+	if t.cfg.Trace.Enabled() {
+		t.cfg.Trace.Emit("fit_start",
+			obs.Int("samples", n),
+			obs.Int("val_samples", len(valX)),
+			obs.Int("params", len(net.Params())),
+			obs.Int("max_epochs", t.cfg.MaxEpochs),
+			obs.String("mode", t.cfg.Mode.String()),
+		)
 	}
 
 	for epoch := 1; epoch <= t.cfg.MaxEpochs; epoch++ {
+		epochsTotal.Inc()
 		var trainLoss float64
 		switch t.cfg.Mode {
 		case Batch:
-			if t.cfg.Workers > 1 && n >= 2*t.cfg.Workers {
-				trainLoss = t.parallelBatch(net, &t.X, &t.Y, batchGrad)
-			} else {
-				trainLoss = BackpropBatch(net, &t.X, &t.Y, invN, &t.ws, batchGrad) * invN
+			if t.cfg.Trace.Enabled() {
+				// Snapshot pre-step parameters so the emitted step norm
+				// ‖w_t − w_{t−1}‖ is available after the optimizer runs.
+				// Pure copy: no floating-point work is added or reordered.
+				t.prevParams = append(t.prevParams[:0], net.Params()...)
 			}
-			applyWeightDecay(net, batchGrad, t.cfg.WeightDecay)
-			t.cfg.Optimizer.Step(net, batchGrad)
+			trainLoss = t.batchEpoch(net, batchGrad, n, invN)
 		case Online:
 			t.src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 			for _, i := range order {
@@ -229,20 +261,16 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 		if hasVal {
 			valLoss = LossBatch(net, &t.VX, &t.VY, &t.ws)
 		}
-		record(epoch, trainLoss, valLoss)
 		res.Epochs = epoch
 		res.FinalLoss = trainLoss
 		res.ValLoss = valLoss
 
+		var stop StopReason
 		if math.IsNaN(trainLoss) || math.IsInf(trainLoss, 0) {
-			res.Reason = StopDiverged
-			return res, nil
-		}
-		if t.cfg.TargetLoss > 0 && trainLoss <= t.cfg.TargetLoss {
-			res.Reason = StopThreshold
-			return res, nil
-		}
-		if hasVal && t.cfg.Patience > 0 {
+			stop = StopDiverged
+		} else if t.cfg.TargetLoss > 0 && trainLoss <= t.cfg.TargetLoss {
+			stop = StopThreshold
+		} else if hasVal && t.cfg.Patience > 0 {
 			if valLoss < best-t.cfg.MinDelta {
 				best = valLoss
 				bestEpoch = epoch
@@ -253,18 +281,99 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 					res.ValLoss = best
 					res.FinalLoss = LossBatch(net, &t.X, &t.Y, &t.ws)
 				}
-				res.Reason = StopEarly
-				return res, nil
+				stop = StopEarly
 			}
 		}
+		if epoch == t.cfg.MaxEpochs && stop == "" {
+			stop = StopMaxEpochs
+		}
+
+		if onCadence(epoch, stop != "") {
+			// History keeps the epoch's own losses even when early stopping
+			// restores earlier weights: it is a log of the trajectory, not
+			// of the returned model.
+			res.History = append(res.History, HistoryPoint{Epoch: epoch, TrainLoss: trainLoss, ValLoss: valLoss})
+			if t.cfg.Trace.Enabled() {
+				t.emitEpoch(net, batchGrad, epoch, trainLoss, valLoss, hasVal)
+			}
+		}
+
+		if stop != "" {
+			res.Reason = stop
+			break
+		}
 	}
-	res.Reason = StopMaxEpochs
-	if bestParams != nil && hasVal && best < res.ValLoss {
+	if res.Reason == StopMaxEpochs && bestParams != nil && hasVal && best < res.ValLoss {
 		net.SetParams(bestParams)
 		res.ValLoss = best
 		res.FinalLoss = LossBatch(net, &t.X, &t.Y, &t.ws)
 	}
+	if t.cfg.Trace.Enabled() {
+		t.cfg.Trace.Emit("fit_end",
+			obs.Int("epochs", res.Epochs),
+			obs.Float("final_loss", res.FinalLoss),
+			obs.Float("val_loss", res.ValLoss),
+			obs.String("stop_reason", string(res.Reason)),
+		)
+	}
 	return res, nil
+}
+
+// batchEpoch runs one full-batch epoch: gradient accumulation (blocked when
+// Workers > 1 and the batch is large enough), weight decay, and one
+// optimizer step. It is the hot loop of batch training, extracted so the
+// zero-allocation guarantee of the tracing-disabled path can be pinned by
+// TestBatchEpochZeroAlloc.
+func (t *Trainer) batchEpoch(net *nn.Network, batchGrad *Gradients, n int, invN float64) float64 {
+	var trainLoss float64
+	if t.cfg.Workers > 1 && n >= 2*t.cfg.Workers {
+		trainLoss = t.parallelBatch(net, &t.X, &t.Y, batchGrad)
+	} else {
+		trainLoss = BackpropBatch(net, &t.X, &t.Y, invN, &t.ws, batchGrad) * invN
+	}
+	applyWeightDecay(net, batchGrad, t.cfg.WeightDecay)
+	t.cfg.Optimizer.Step(net, batchGrad)
+	return trainLoss
+}
+
+// emitEpoch emits one "epoch" trace event. Norms are diagnostics computed
+// on copies and snapshots; nothing here feeds back into training state.
+func (t *Trainer) emitEpoch(net *nn.Network, batchGrad *Gradients, epoch int, trainLoss, valLoss float64, hasVal bool) {
+	fields := make([]obs.Field, 0, 6)
+	fields = append(fields,
+		obs.Int("epoch", epoch),
+		obs.Float("train_loss", trainLoss),
+	)
+	if hasVal {
+		fields = append(fields, obs.Float("val_loss", valLoss))
+	}
+	fields = append(fields, obs.Float("weight_norm", l2(net.Params())))
+	if t.cfg.Mode == Batch {
+		fields = append(fields, obs.Float("grad_norm", l2(batchGrad.Flat)))
+		if len(t.prevParams) == len(net.Params()) {
+			fields = append(fields, obs.Float("step_norm", l2dist(net.Params(), t.prevParams)))
+		}
+	}
+	t.cfg.Trace.Emit("epoch", fields...)
+}
+
+// l2 returns the Euclidean norm of v.
+func l2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// l2dist returns ‖a − b‖₂.
+func l2dist(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
 }
 
 // applyWeightDecay adds the L2 penalty's gradient λ·w to g. Biases are
