@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json serve-bench bench-obs ci clean
+.PHONY: all build vet lint test race bench-smoke bench bench-json serve-bench bench-obs ci clean
 
 all: ci
 
@@ -9,6 +9,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (see DESIGN.md §11): determinism-source
+# confinement, scheduler confinement, map-range ordering, hot-path
+# allocation discipline, and float-equality, driven by lint.conf.
+lint:
+	$(GO) run ./cmd/nnwc-lint ./...
 
 test:
 	$(GO) test ./...
@@ -44,7 +50,7 @@ serve-bench:
 bench-obs:
 	$(GO) run ./cmd/obsbench -out BENCH_obs.json
 
-ci: build vet race bench-smoke
+ci: build vet lint race bench-smoke
 
 clean:
 	rm -rf results

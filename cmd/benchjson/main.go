@@ -28,6 +28,7 @@ import (
 
 	"nnwc/internal/core"
 	"nnwc/internal/rng"
+	"nnwc/internal/stats"
 	"nnwc/internal/surface"
 	"nnwc/internal/train"
 	"nnwc/internal/workload"
@@ -234,7 +235,7 @@ func verifyDeterminism(ds *workload.Dataset, cfg core.Config, counts []int) erro
 			return err
 		}
 		for j := range ref.Averages {
-			if got.Averages[j] != ref.Averages[j] {
+			if !stats.ExactEqual(got.Averages[j], ref.Averages[j]) {
 				return fmt.Errorf("workers=%d average[%d] = %v, workers=1 gave %v", w, j, got.Averages[j], ref.Averages[j])
 			}
 		}

@@ -1,0 +1,133 @@
+// Command nnwc-lint runs the repo's static-analysis suite (DESIGN.md
+// §11) over Go packages and reports findings as
+// "file:line:col: [rule] message" lines, with file paths relative to the
+// module root so output is stable across checkouts.
+//
+// Usage:
+//
+//	nnwc-lint [-conf lint.conf] [-rules r1,r2] [packages...]
+//
+// Packages default to ./... (the whole module, testdata excluded).
+// Exit codes: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nnwc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nnwc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	confPath := fs.String("conf", "", "policy file (default: lint.conf at the module root, if present)")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: nnwc-lint [-conf lint.conf] [-rules r1,r2] [packages...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return exitClean
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "nnwc-lint:", err)
+		return exitUsage
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "nnwc-lint:", err)
+		return exitUsage
+	}
+
+	policy, err := loadPolicy(*confPath, loader.RootDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "nnwc-lint:", err)
+		return exitUsage
+	}
+
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "nnwc-lint:", err)
+		return exitUsage
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(stderr, "nnwc-lint: no packages matched", strings.Join(patterns, " "))
+		return exitUsage
+	}
+
+	found := false
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analyzers, policy) {
+			found = true
+			if rel, err := filepath.Rel(loader.RootDir, d.Pos.Filename); err == nil {
+				d.Pos.Filename = filepath.ToSlash(rel)
+			}
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if found {
+		return exitFindings
+	}
+	return exitClean
+}
+
+func selectAnalyzers(rules string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a := byName[name]
+		if a == nil {
+			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func loadPolicy(confPath, rootDir string) (*analysis.Policy, error) {
+	if confPath == "" {
+		confPath = filepath.Join(rootDir, "lint.conf")
+		if _, err := os.Stat(confPath); err != nil {
+			return analysis.NewPolicy(), nil
+		}
+	}
+	return analysis.ReadConfFile(confPath)
+}

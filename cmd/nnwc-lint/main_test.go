@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureNames lists every self-test package under
+// internal/analysis/testdata/src, in the order the golden file expects.
+var fixtureNames = []string{"determinism", "floateq", "hotpath", "maprange", "sched", "waiver"}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+func fixtureDirs(t *testing.T) []string {
+	t.Helper()
+	root := moduleRoot(t)
+	var dirs []string
+	for _, name := range fixtureNames {
+		dirs = append(dirs, filepath.Join(root, "internal", "analysis", "testdata", "src", name))
+	}
+	return dirs
+}
+
+// TestExitCleanOnRepoTip pins exit code 0: the whole module under the
+// checked-in lint.conf must be finding-free, or CI's `make lint` gate
+// would fail.
+func TestExitCleanOnRepoTip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis is slow; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitClean, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestExitFindingsOnFixtures pins exit code 1: every self-test fixture
+// must produce findings under the empty policy.
+func TestExitFindingsOnFixtures(t *testing.T) {
+	conf := filepath.Join("testdata", "fixtures.conf")
+	for i, dir := range fixtureDirs(t) {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-conf", conf, dir}, &stdout, &stderr)
+		if code != exitFindings {
+			t.Errorf("fixture %s: exit = %d, want %d\nstderr:\n%s", fixtureNames[i], code, exitFindings, stderr.String())
+		}
+		if stdout.Len() == 0 {
+			t.Errorf("fixture %s: no diagnostics printed", fixtureNames[i])
+		}
+	}
+}
+
+// TestUsageErrors pins exit code 2 for operator mistakes.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-rules", "nosuchrule", "./..."},
+		{"-conf", filepath.Join("testdata", "no-such-file.conf"), "./..."},
+		{filepath.Join("testdata")}, // directory without Go files
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != exitUsage {
+			t.Errorf("run(%q) exit = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestListRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("-list exit = %d, want %d", code, exitClean)
+	}
+	for _, rule := range []string{"determinism", "sched", "maprange", "hotpath", "floateq"} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("-list output missing rule %q:\n%s", rule, stdout.String())
+		}
+	}
+}
+
+// TestGoldenDiagnostics pins the exact diagnostic stream — file:line:col,
+// rule tags, messages, and ordering — across all fixtures. Regenerate
+// with: go test ./cmd/nnwc-lint -run TestGoldenDiagnostics -update
+func TestGoldenDiagnostics(t *testing.T) {
+	conf := filepath.Join("testdata", "fixtures.conf")
+	args := append([]string{"-conf", conf}, fixtureDirs(t)...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != exitFindings {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitFindings, stderr.String())
+	}
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stdout.String(); got != string(want) {
+		t.Errorf("diagnostic format drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"nnwc/internal/obs"
+	"nnwc/internal/stats"
 )
 
 // cmdRuns inspects the run directories that -trace writes: list the
@@ -285,11 +286,11 @@ func runsDiff(base, idA, idB string) error {
 			va, oka := ma.Metrics[k]
 			vb, okb := mb.Metrics[k]
 			switch {
-			case oka && okb && va == vb:
+			case oka && okb && stats.ExactEqual(va, vb):
 				fmt.Printf("  %-18s %g\n", k, va)
 			case oka && okb:
 				delta := ""
-				if va != 0 {
+				if !stats.ExactZero(va) {
 					delta = fmt.Sprintf(" (%+.2f%%)", (vb-va)/math.Abs(va)*100)
 				}
 				fmt.Printf("~ %-18s %g → %g%s\n", k, va, vb, delta)

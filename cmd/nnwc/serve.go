@@ -58,6 +58,7 @@ func cmdServeRun(obsf *obsFlags, modelPath, addr string, maxBatch int, maxWait, 
 	obsf.infof("nnwc serve: SIGHUP reloads the model, SIGINT/SIGTERM drains and exits\n")
 
 	serveErr := make(chan error, 1)
+	//lint:waive sched -- single waiter bridging srv.Wait into the shutdown select; no result-path work
 	go func() { serveErr <- srv.Wait() }()
 
 	sigCh := make(chan os.Signal, 2)

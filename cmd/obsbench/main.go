@@ -26,6 +26,7 @@ import (
 	"nnwc/internal/nn"
 	"nnwc/internal/obs"
 	"nnwc/internal/rng"
+	"nnwc/internal/stats"
 	"nnwc/internal/train"
 )
 
@@ -123,12 +124,12 @@ func verifyDeterminism(samples, epochs int) error {
 		return err
 	}
 
-	if res1.FinalLoss != resPlain.FinalLoss || res1.Epochs != resPlain.Epochs {
+	if !stats.ExactEqual(res1.FinalLoss, resPlain.FinalLoss) || res1.Epochs != resPlain.Epochs {
 		return fmt.Errorf("tracing perturbed training: loss %v vs %v", res1.FinalLoss, resPlain.FinalLoss)
 	}
 	pp, tp := plain.net.Params(), f1.net.Params()
 	for i := range pp {
-		if pp[i] != tp[i] {
+		if !stats.ExactEqual(pp[i], tp[i]) {
 			return fmt.Errorf("tracing perturbed weight %d: %v vs %v", i, pp[i], tp[i])
 		}
 	}

@@ -222,6 +222,7 @@ func runHTTPScenario(modelPath string, coalesce bool, clients int, dur time.Dura
 	errCh := make(chan error, clients)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
+		//lint:waive sched -- load-generator client goroutine; the harness measures latency, results carry no model output
 		go func(c int) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
@@ -274,6 +275,7 @@ func runInprocScenario(modelPath string, coalesce bool, clients int, dur time.Du
 	errCh := make(chan error, clients)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
+		//lint:waive sched -- load-generator client goroutine; the harness measures latency, results carry no model output
 		go func(c int) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
@@ -331,7 +333,7 @@ func speedup(scs []scenario, layer string, clients int) float64 {
 			single = sc.RPS
 		}
 	}
-	if single == 0 {
+	if stats.ExactZero(single) {
 		return 0
 	}
 	return coalesced / single

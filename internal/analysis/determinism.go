@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DeterminismAnalyzer enforces determinism-source confinement: wall-clock
+// reads (time.Now, time.Since, time.Until, timers/tickers) and the
+// unseeded math/rand generators are forbidden outside the allowlisted
+// packages (internal/rng owns seeding, internal/obs and internal/serve
+// own wall-time attribution, cmd/* own operator-facing timing). Every
+// result-producing path must derive randomness from an explicit
+// rng.Source seed and must not observe the clock, or the 1e-9
+// seed-reference CV pin and cross-run trace byte-identity break.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads and math/rand outside allowlisted packages",
+	Run:  runDeterminism,
+}
+
+// nondeterministic time functions: anything that reads the wall clock or
+// schedules on it. time.Duration arithmetic and formatting stay legal.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "Sleep": true,
+}
+
+func runDeterminism(p *Pass) {
+	if !p.Policy.Applies("determinism", p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf("determinism", imp.Pos(),
+					"import of %s: derive randomness from an explicit internal/rng seed instead", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if bannedTimeFuncs[sel.Sel.Name] {
+				p.Reportf("determinism", sel.Pos(),
+					"time.%s reads the wall clock; results must be a pure function of seeds and inputs", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

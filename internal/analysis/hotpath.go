@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathTag marks a function as part of the zero-allocation compute
+// spine. The tag goes in the function's doc comment:
+//
+//	// MulInto computes dst = a·b without allocating.
+//	//nnwc:hotpath
+//	func MulInto(dst, a, b *Matrix) *Matrix { ... }
+//
+// Tagged functions are the same set TestBatchEpochZeroAlloc pins at
+// runtime (the batched forward/backprop/loss kernels and the in-place
+// mat primitives they ride on); the analyzer rejects the constructs that
+// would make them allocate before the test can flake.
+const HotPathTag = "//nnwc:hotpath"
+
+// HotPathAnalyzer enforces allocation discipline inside functions tagged
+// //nnwc:hotpath: no make/new, no append (growth allocates), no
+// composite literals (escape analysis may heap them), no string
+// concatenation, no closures, no fmt.* calls, and no conversions to
+// interface types (boxing allocates). Expressions that only feed a
+// panic(...) call are exempt — panics are cold paths and the formatted
+// message is worth the readability.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in //nnwc:hotpath-tagged functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	if !p.Policy.Applies("hotpath", p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotPathTag(fd) {
+				continue
+			}
+			checkHotPathBody(p, fd)
+		}
+	}
+}
+
+func hasHotPathTag(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == HotPathTag {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotPathBody(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	var visit func(n ast.Node, inPanic bool)
+	visit = func(n ast.Node, inPanic bool) {
+		if n == nil {
+			return
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			childPanic := inPanic || isBuiltin(p, e.Fun, "panic")
+			switch {
+			case isBuiltin(p, e.Fun, "make"):
+				p.Reportf("hotpath", e.Pos(), "make in hot path %s allocates", name)
+			case isBuiltin(p, e.Fun, "new"):
+				p.Reportf("hotpath", e.Pos(), "new in hot path %s allocates", name)
+			case isBuiltin(p, e.Fun, "append"):
+				p.Reportf("hotpath", e.Pos(), "append in hot path %s can grow and allocate; size buffers up front", name)
+			case !inPanic && isFmtCall(p, e.Fun):
+				p.Reportf("hotpath", e.Pos(), "fmt call in hot path %s allocates (boxing + formatting)", name)
+			case p.isInterfaceConversion(e):
+				p.Reportf("hotpath", e.Pos(), "conversion to interface in hot path %s boxes its operand", name)
+			}
+			for _, child := range e.Args {
+				visit(child, childPanic)
+			}
+			visit(e.Fun, inPanic)
+			return
+		case *ast.CompositeLit:
+			if !inPanic && !p.isEmptyStructLit(e) {
+				p.Reportf("hotpath", e.Pos(), "composite literal in hot path %s may escape and allocate", name)
+			}
+		case *ast.FuncLit:
+			if !inPanic {
+				p.Reportf("hotpath", e.Pos(), "closure in hot path %s allocates its environment", name)
+			}
+		case *ast.BinaryExpr:
+			if !inPanic && e.Op.String() == "+" && p.isStringType(e.X) {
+				p.Reportf("hotpath", e.Pos(), "string concatenation in hot path %s allocates", name)
+			}
+		}
+		for _, child := range children(n) {
+			visit(child, inPanic)
+		}
+	}
+	visit(fd.Body, false)
+}
+
+// children returns the direct AST children of n, via a one-level Inspect.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+func isFmtCall(p *Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+	return ok && pn.Imported().Path() == "fmt"
+}
+
+// isInterfaceConversion matches explicit conversions T(x) where T is an
+// interface type and x is not.
+func (p *Pass) isInterfaceConversion(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	if !types.IsInterface(tv.Type) {
+		return false
+	}
+	argTV, ok := p.Pkg.Info.Types[call.Args[0]]
+	return ok && argTV.Type != nil && !types.IsInterface(argTV.Type)
+}
+
+// isEmptyStructLit matches T{} where T is a zero-field struct: the value
+// is zero-sized, so it cannot allocate no matter where it escapes. This
+// keeps the devirtualization idiom `Tanh{}.Eval(v)` legal in kernels.
+func (p *Pass) isEmptyStructLit(lit *ast.CompositeLit) bool {
+	if len(lit.Elts) != 0 {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func (p *Pass) isStringType(expr ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"strings"
+)
+
+// Policy scopes each rule to the packages it applies to. Three directive
+// kinds exist, mirroring how the runtime invariants are scoped:
+//
+//	<rule> allow <pkg-pattern>   — rule does not apply in matching packages
+//	<rule> only <pkg-pattern>    — rule applies ONLY in matching packages
+//	<rule> allowfunc <pkg>.<fn>  — rule does not apply inside that function
+//
+// Patterns are import paths, optionally ending in "/..." to match a whole
+// subtree; path.Match metacharacters work in the last segment (e.g.
+// "nnwc/cmd/*"). Test files never reach the analyzers at all (the loader
+// skips them), so every rule is implicitly test-exempt.
+type Policy struct {
+	rules map[string]*rulePolicy
+}
+
+type rulePolicy struct {
+	allow      []string
+	only       []string
+	allowFuncs map[string]bool // "pkgpath.FuncName" or "pkgpath.(Recv).Method"
+}
+
+// NewPolicy returns an empty policy (every rule applies everywhere).
+func NewPolicy() *Policy { return &Policy{rules: map[string]*rulePolicy{}} }
+
+func (p *Policy) rule(name string) *rulePolicy {
+	rp := p.rules[name]
+	if rp == nil {
+		rp = &rulePolicy{allowFuncs: map[string]bool{}}
+		p.rules[name] = rp
+	}
+	return rp
+}
+
+// Allow exempts packages matching pattern from rule.
+func (p *Policy) Allow(rule, pattern string) {
+	rp := p.rule(rule)
+	rp.allow = append(rp.allow, pattern)
+}
+
+// Only restricts rule to packages matching pattern (additive).
+func (p *Policy) Only(rule, pattern string) { rp := p.rule(rule); rp.only = append(rp.only, pattern) }
+
+// AllowFunc exempts one function, named "<pkgpath>.<FuncName>", from rule.
+func (p *Policy) AllowFunc(rule, qualified string) { p.rule(rule).allowFuncs[qualified] = true }
+
+// Applies reports whether rule is in force for the package at pkgPath.
+func (p *Policy) Applies(rule, pkgPath string) bool {
+	rp := p.rules[rule]
+	if rp == nil {
+		return true
+	}
+	if len(rp.only) > 0 && !matchAny(rp.only, pkgPath) {
+		return false
+	}
+	return !matchAny(rp.allow, pkgPath)
+}
+
+// FuncAllowed reports whether the function funcName in pkgPath is exempt
+// from rule (the epsilon-helper allowlist of the floateq rule).
+func (p *Policy) FuncAllowed(rule, pkgPath, funcName string) bool {
+	rp := p.rules[rule]
+	return rp != nil && rp.allowFuncs[pkgPath+"."+funcName]
+}
+
+func matchAny(patterns []string, pkgPath string) bool {
+	for _, pat := range patterns {
+		if matchPattern(pat, pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchPattern(pat, pkgPath string) bool {
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")
+	}
+	if ok, err := path.Match(pat, pkgPath); err == nil && ok {
+		return true
+	}
+	return pat == pkgPath
+}
+
+// ReadConfFile loads and parses a lint.conf policy file.
+func ReadConfFile(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseConf(string(data))
+}
+
+// ParseConf parses the lint.conf format: one directive per line,
+// `<rule> <allow|only|allowfunc> <pattern>`, with '#' comments and blank
+// lines ignored. Unknown rules are rejected so a typo cannot silently
+// disable enforcement.
+func ParseConf(src string) (*Policy, error) {
+	p := NewPolicy()
+	for i, line := range strings.Split(src, "\n") {
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("lint.conf:%d: want `<rule> <allow|only|allowfunc> <pattern>`, got %q", i+1, line)
+		}
+		rule, verb, pattern := fields[0], fields[1], fields[2]
+		if !knownRule(rule) {
+			return nil, fmt.Errorf("lint.conf:%d: unknown rule %q", i+1, rule)
+		}
+		switch verb {
+		case "allow":
+			p.Allow(rule, pattern)
+		case "only":
+			p.Only(rule, pattern)
+		case "allowfunc":
+			p.AllowFunc(rule, pattern)
+		default:
+			return nil, fmt.Errorf("lint.conf:%d: unknown directive %q", i+1, verb)
+		}
+	}
+	return p, nil
+}

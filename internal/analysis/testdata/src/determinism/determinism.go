@@ -1,0 +1,23 @@
+// Package determinism is a lint fixture: every diagnostic the
+// determinism analyzer must produce is pinned by a `// want` comment.
+package determinism
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func clock() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	return time.Since(start)     // want "time.Since"
+}
+
+func roll() int { return rand.Intn(6) }
+
+// legal: duration arithmetic and formatting never read the clock.
+func format(d time.Duration) string { return d.String() }
+
+var _ = clock
+var _ = roll
+var _ = format

@@ -1,0 +1,35 @@
+// Package floateq is a lint fixture for the float-equality rule.
+package floateq
+
+func eq(a, b float64) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+func neqZero(a float64) bool {
+	return a != 0 // want "!= on floating-point operands"
+}
+
+func narrow(a float32, b float64) bool {
+	return float64(a) == b // want "== on floating-point operands"
+}
+
+// legal: integer equality is exact.
+func ints(a, b int) bool { return a == b }
+
+// approxEqual is exempted through the test policy's allowfunc directive,
+// mirroring how lint.conf allowlists the stats helpers.
+func approxEqual(a, b float64) bool { return a == b }
+
+func waived(x float64) bool {
+	//lint:waive floateq -- fixture: sentinel comparison with documented intent
+	return x == 0
+}
+
+var (
+	_ = eq
+	_ = neqZero
+	_ = narrow
+	_ = ints
+	_ = approxEqual
+	_ = waived
+)

@@ -1,0 +1,52 @@
+// Package hotpath is a lint fixture for the //nnwc:hotpath allocation
+// rules.
+package hotpath
+
+import "fmt"
+
+type vec struct{ data []float64 }
+
+type empty struct{}
+
+func (empty) use() {}
+
+type sink interface{ use() }
+
+// kernel trips every banned construct once.
+//
+//nnwc:hotpath
+func kernel(dst, src []float64, s sink) string {
+	buf := make([]float64, 4)    // want "make in hot path"
+	dst = append(dst, src...)    // want "append in hot path"
+	p := new(vec)                // want "new in hot path"
+	fmt.Println(len(buf), p)     // want "fmt call in hot path"
+	f := func() { p.data = dst } // want "closure in hot path"
+	f()
+	v := vec{data: dst} // want "composite literal in hot path"
+	s = sink(empty{})   // want "conversion to interface"
+	s.use()
+	dst = v.data
+	return "x" + "y" // want "string concatenation in hot path"
+}
+
+// guarded shows the cold-path exemptions: panics may format freely, and
+// zero-field struct literals are zero-sized.
+//
+//nnwc:hotpath
+func guarded(n int, s sink) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // legal: panic path is cold
+	}
+	e := empty{} // legal: zero-sized literal
+	e.use()
+	_ = s
+}
+
+// cold is untagged: the rule does not apply.
+func cold(xs []int) []int { return append(xs, 1) }
+
+var (
+	_ = kernel
+	_ = guarded
+	_ = cold
+)

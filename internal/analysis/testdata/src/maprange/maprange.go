@@ -1,0 +1,65 @@
+// Package maprange is a lint fixture for map-iteration ordering.
+package maprange
+
+import "sort"
+
+func flagged(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "iteration over map"
+		total += v // order-sensitive FP reduction: the exact defect the rule exists for
+	}
+	return total
+}
+
+// legal: per-key writes into another map commute across iteration orders.
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		if v >= 0 {
+			out[v] = k
+		}
+	}
+	return out
+}
+
+// legal: ranging only to delete is order-insensitive.
+func clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// legal: keys are collected and re-canonicalized by the later sort.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func waived(m map[string]int) int {
+	n := 0
+	//lint:ordered -- fixture: count is order-independent even though the body is opaque to the analyzer
+	for range m {
+		n = bump(n)
+	}
+	return n
+}
+
+func bump(n int) int { return n + 1 }
+
+func detached() {
+	// want+1 "waives nothing"
+	//lint:ordered -- fixture: attached to no map range at all
+}
+
+var (
+	_ = flagged
+	_ = invert
+	_ = clear
+	_ = sortedKeys
+	_ = waived
+	_ = detached
+)

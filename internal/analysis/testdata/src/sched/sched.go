@@ -1,0 +1,17 @@
+// Package sched is a lint fixture for scheduler confinement.
+package sched
+
+func spawn(ch chan int) {
+	go work(ch) // want "raw goroutine"
+
+	go func() { // want "raw goroutine"
+		work(ch)
+	}()
+
+	//lint:waive sched -- fixture: justified goroutine stays silent
+	go work(ch)
+}
+
+func work(ch chan int) { ch <- 1 }
+
+var _ = spawn

@@ -1,0 +1,21 @@
+// Package waiver is a lint fixture for the waiver-comment parser:
+// malformed waivers are findings themselves and suppress nothing.
+package waiver
+
+func f(ch chan int) {
+	// want+1 "malformed waiver comment"
+	//lint:waive sched
+	go run(ch) // want "raw goroutine"
+
+	// want+1 "unknown rule"
+	//lint:waive nosuchrule -- the rule name is checked so typos cannot disable enforcement
+	go run(ch) // want "raw goroutine"
+
+	// want+1 "waives nothing"
+	//lint:waive floateq -- valid but detached: there is no floateq finding here to suppress
+	go run(ch) // want "raw goroutine"
+}
+
+func run(ch chan int) { ch <- 1 }
+
+var _ = f

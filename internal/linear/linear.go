@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"nnwc/internal/mat"
+	"nnwc/internal/stats"
 )
 
 // Model is a fitted linear map ŷ = W·x + b with n inputs and m outputs.
@@ -37,7 +38,7 @@ func Fit(xs, ys [][]float64, opt Options) (*Model, error) {
 	n := len(xs[0])
 	m := len(ys[0])
 	rows := len(xs)
-	if rows < n+1 && opt.Lambda == 0 {
+	if rows < n+1 && stats.ExactZero(opt.Lambda) {
 		return nil, fmt.Errorf("linear: %d samples cannot determine %d coefficients; add samples or use ridge", rows, n+1)
 	}
 

@@ -9,12 +9,14 @@ package mat
 // only when its capacity is insufficient. Existing contents are preserved up
 // to the new length when no growth occurs and are otherwise unspecified;
 // callers treat a reshaped matrix as uninitialized scratch. Returns m.
+//nnwc:hotpath
 func (m *Matrix) Reshape(rows, cols int) *Matrix {
 	if rows <= 0 || cols <= 0 {
 		panic(ErrShape)
 	}
 	n := rows * cols
 	if cap(m.Data) < n {
+		//lint:waive hotpath -- grow-on-first-use; the steady state takes the capacity fast path (TestBatchEpochZeroAlloc)
 		m.Data = make([]float64, n)
 	}
 	m.Data = m.Data[:n]
@@ -25,10 +27,12 @@ func (m *Matrix) Reshape(rows, cols int) *Matrix {
 // RowRange returns a view of rows [lo, hi) sharing m's backing array
 // (possibly empty when lo == hi). Mutations through the view are visible in
 // m. The view is returned by value so hot loops can keep it on the stack.
+//nnwc:hotpath
 func (m *Matrix) RowRange(lo, hi int) Matrix {
 	if lo < 0 || hi > m.Rows || lo > hi {
 		panic(ErrShape)
 	}
+	//lint:waive hotpath -- view returned by value; escape analysis keeps it on the caller's stack
 	return Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
 }
 
@@ -49,6 +53,7 @@ func (m *Matrix) CopyRows(rows [][]float64) *Matrix {
 }
 
 // Zero sets every element of m to zero.
+//nnwc:hotpath
 func (m *Matrix) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
@@ -57,6 +62,7 @@ func (m *Matrix) Zero() {
 
 // MulInto computes dst = a·b without allocating. dst must not alias a or b;
 // it is reshaped to a.Rows×b.Cols. Returns dst.
+//nnwc:hotpath
 func MulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(ErrShape)
@@ -67,6 +73,7 @@ func MulInto(dst, a, b *Matrix) *Matrix {
 		arow := a.Row(i)
 		crow := dst.Row(i)
 		for k, av := range arow {
+			//lint:waive floateq -- exact-zero sparsity skip in the inner product; FP-safe
 			if av == 0 {
 				continue
 			}
@@ -83,6 +90,7 @@ func MulInto(dst, a, b *Matrix) *Matrix {
 // product (samples × features)·(outputs × features)ᵀ. Both operands are
 // walked row-contiguously. dst must not alias a or b; it is reshaped to
 // a.Rows×b.Rows. Returns dst.
+//nnwc:hotpath
 func MulTransInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(ErrShape)
@@ -102,6 +110,7 @@ func MulTransInto(dst, a, b *Matrix) *Matrix {
 // product (samples × outputs)ᵀ·(samples × inputs) summed over the sample
 // axis in ascending row order. dst must not alias a or b; it is reshaped to
 // a.Cols×b.Cols. Returns dst.
+//nnwc:hotpath
 func MulTransLeftInto(dst, a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(ErrShape)
@@ -112,6 +121,7 @@ func MulTransLeftInto(dst, a, b *Matrix) *Matrix {
 		arow := a.Row(n)
 		brow := b.Row(n)
 		for o, av := range arow {
+			//lint:waive floateq -- exact-zero sparsity skip in the inner product; FP-safe
 			if av == 0 {
 				continue
 			}
@@ -123,6 +133,7 @@ func MulTransLeftInto(dst, a, b *Matrix) *Matrix {
 
 // MulVecInto computes dst = m·x without allocating. dst must have length
 // m.Rows and must not alias x. Returns dst.
+//nnwc:hotpath
 func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
 	if m.Cols != len(x) || m.Rows != len(dst) {
 		panic(ErrShape)
@@ -135,6 +146,7 @@ func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
 
 // AddScaledInto computes dst += alpha·src element-wise over whole matrices.
 // The shapes must match.
+//nnwc:hotpath
 func AddScaledInto(dst *Matrix, alpha float64, src *Matrix) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic(ErrShape)

@@ -109,6 +109,7 @@ func Mul(a, b *Matrix) *Matrix {
 		arow := a.Row(i)
 		crow := c.Row(i)
 		for k, av := range arow {
+			//lint:waive floateq -- exact-zero sparsity skip in the inner product; FP-safe
 			if av == 0 {
 				continue
 			}
@@ -170,6 +171,7 @@ func (m *Matrix) String() string {
 }
 
 // Dot returns the inner product of two equal-length vectors.
+//nnwc:hotpath
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(ErrShape)
@@ -182,6 +184,7 @@ func Dot(a, b []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of v.
+//nnwc:hotpath
 func Norm2(v []float64) float64 {
 	var s float64
 	for _, x := range v {
@@ -191,6 +194,7 @@ func Norm2(v []float64) float64 {
 }
 
 // AXPY computes y += alpha*x in place.
+//nnwc:hotpath
 func AXPY(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(ErrShape)
@@ -278,6 +282,7 @@ func NewQR(a *Matrix) *QR {
 		for i := k; i < m; i++ {
 			nrm = math.Hypot(nrm, qr.At(i, k))
 		}
+		//lint:waive floateq -- Householder norm exactly zero means the column is already eliminated
 		if nrm != 0 {
 			if qr.At(k, k) < 0 {
 				nrm = -nrm
@@ -312,6 +317,7 @@ func (f *QR) FullRank() bool {
 			maxD = a
 		}
 	}
+	//lint:waive floateq -- rank sentinel: exact zero max diagonal means no scale to compare against
 	if maxD == 0 {
 		return false
 	}
@@ -342,6 +348,7 @@ func (f *QR) Solve(b *Matrix) (*Matrix, error) {
 			for i := k; i < m; i++ {
 				s += f.qr.At(i, k) * x.At(i, c)
 			}
+			//lint:waive floateq -- exact-zero pivot skip: a singular diagonal entry contributes nothing
 			if f.qr.At(k, k) == 0 {
 				continue
 			}

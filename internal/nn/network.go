@@ -62,6 +62,7 @@ func (l *Layer) Forward(x []float64) (out, pre []float64) {
 // computed first and the activation applied row-wise afterwards — same
 // values as the per-neuron formulation, but with the activation
 // devirtualized once per row.
+//nnwc:hotpath
 func (l *Layer) forwardInto(x, out, pre []float64) {
 	wd, off := l.W.Data, 0
 	for i := 0; i < l.Outputs; i++ {

@@ -20,6 +20,7 @@ import (
 
 	"nnwc/internal/linear"
 	"nnwc/internal/rng"
+	"nnwc/internal/stats"
 )
 
 // Config controls RBF construction.
@@ -82,7 +83,7 @@ func Fit(xs, ys [][]float64, cfg Config) (*Network, error) {
 	gammas := make([]float64, len(centers))
 	for i := range centers {
 		d := nearestOtherCenter(centers, i)
-		if d == 0 {
+		if stats.ExactZero(d) {
 			d = 1
 		}
 		sigma := cfg.WidthScale * d
@@ -182,7 +183,7 @@ func kMeans(xs [][]float64, k, iters int, src *rng.Source) ([][]float64, error) 
 			dist[i] = best
 			total += best
 		}
-		if total == 0 {
+		if stats.ExactZero(total) {
 			// All remaining points coincide with existing centers;
 			// duplicate one with a deterministic jitterless copy.
 			centers = append(centers, append([]float64(nil), xs[src.Intn(n)]...))

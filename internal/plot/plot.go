@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"nnwc/internal/stats"
 )
 
 // Scatter renders one indicator's actual ('o') and predicted ('x') values
@@ -46,7 +48,7 @@ func (s Scatter) Render(w io.Writer) error {
 			}
 		}
 	}
-	if hi == lo {
+	if stats.ExactEqual(hi, lo) {
 		hi = lo + 1
 	}
 	pad := (hi - lo) * 0.05
@@ -152,7 +154,7 @@ func (h HeatMap) Render(w io.Writer) error {
 			}
 		}
 	}
-	if hi == lo {
+	if stats.ExactEqual(hi, lo) {
 		hi = lo + 1
 	}
 
@@ -197,7 +199,7 @@ func (h HeatMap) Render(w io.Writer) error {
 }
 
 func compactNum(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 100 {
+	if stats.ExactEqual(v, math.Trunc(v)) && math.Abs(v) < 100 {
 		return fmt.Sprintf("%d", int(v))
 	}
 	return fmt.Sprintf("%.3g", v)

@@ -57,7 +57,7 @@ func (s *Standardizer) Fit(rows [][]float64) error {
 		}
 		s.mean[j] = stats.Mean(col)
 		sd := stats.StdDev(col)
-		if sd == 0 {
+		if stats.ExactZero(sd) {
 			sd = 1
 		}
 		s.std[j] = sd
@@ -138,7 +138,7 @@ func (m *MinMax) Fit(rows [][]float64) error {
 		}
 		m.min[j] = lo
 		w := hi - lo
-		if w == 0 {
+		if stats.ExactZero(w) {
 			w = 1
 		}
 		m.rangw[j] = w

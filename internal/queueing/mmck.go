@@ -3,6 +3,8 @@ package queueing
 import (
 	"errors"
 	"math"
+
+	"nnwc/internal/stats"
 )
 
 // MMCK describes an M/M/c/K queue: c servers, system capacity K (waiting
@@ -98,7 +100,7 @@ func (q MMCK) MeanResponseTime() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if tput == 0 {
+	if stats.ExactZero(tput) {
 		return 0, errors.New("queueing: zero accepted throughput")
 	}
 	return l / tput, nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"nnwc/internal/core"
+	"nnwc/internal/stats"
 )
 
 // Objective states the preferred direction of one indicator.
@@ -110,7 +111,7 @@ func equalVec(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !stats.ExactEqual(a[i], b[i]) {
 			return false
 		}
 	}

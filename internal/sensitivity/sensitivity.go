@@ -80,7 +80,7 @@ func PermutationImportance(p core.Predictor, ds *workload.Dataset, opt Options) 
 	}
 	for j := 0; j < m; j++ {
 		base[j] = stats.RMSE(actual[j], pred[j])
-		if base[j] == 0 {
+		if stats.ExactZero(base[j]) {
 			base[j] = 1e-12 // perfect fit: any degradation is "infinite"; cap via epsilon
 		}
 	}

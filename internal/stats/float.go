@@ -1,0 +1,37 @@
+package stats
+
+import "math"
+
+// This file is the one place exact floating-point comparison is allowed
+// (the floateq analyzer's allowfunc list in lint.conf names these
+// helpers). Routing call sites through them documents *which* comparison
+// semantics each site wants — tolerance, zero-sentinel, or bit-identity —
+// instead of leaving a bare == whose intent the next reader must guess.
+
+// ApproxEqual reports whether a and b agree within tol, using a combined
+// absolute/relative test: |a−b| ≤ tol·max(1, |a|, |b|). tol therefore
+// reads as an absolute tolerance near the unit interval and degrades
+// gracefully to a relative tolerance for large magnitudes. NaN equals
+// nothing (including NaN); equal infinities of the same sign are equal.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b // equal infinities only; |a−b| ≤ tol·Inf would accept anything
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// ExactZero reports whether x is exactly zero (either sign). It exists
+// for sentinel checks — "was this parameter left unset", "is this pivot
+// singular", "skip the zero entries of a sparse row" — where an epsilon
+// would change semantics; it is NOT an approximate-zero test.
+func ExactZero(x float64) bool { return x == 0 }
+
+// ExactEqual reports whether a and b are equal under Go's ==, i.e.
+// bit-identical up to the usual IEEE caveats (NaN ≠ NaN, −0 == +0). It
+// exists for determinism checks that compare two runs' outputs, where
+// bit-identity is exactly the property under test.
+func ExactEqual(a, b float64) bool { return a == b }

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestApproxEqual pins the helper's tolerance semantics: combined
+// absolute/relative via |a−b| ≤ tol·max(1,|a|,|b|).
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},                        // identical values at zero tolerance
+		{0, 1e-10, 1e-9, true},                 // absolute regime near zero
+		{0, 2e-9, 1e-9, false},                 // just outside absolute tolerance
+		{1e12, 1e12 * (1 + 1e-10), 1e-9, true}, // relative regime at large scale
+		{1e12, 1e12 * (1 + 1e-8), 1e-9, false}, // relative failure at large scale
+		{-1, 1, 1, false},                      // |a−b| = 2 > 1·max(1,|a|,|b|) = 1
+		{inf, inf, 1e-9, true},                 // equal infinities
+		{inf, -inf, 1e-9, false},               // opposite infinities
+		{inf, 1e308, 1e-9, false},              // infinity vs finite
+		{nan, nan, 1e-9, false},                // NaN equals nothing
+		{nan, 0, 1e-9, false},
+		{0, math.Copysign(0, -1), 0, true}, // ±0 are equal
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestExactZero(t *testing.T) {
+	if !ExactZero(0) || !ExactZero(math.Copysign(0, -1)) {
+		t.Error("ExactZero must accept both signed zeros")
+	}
+	for _, x := range []float64{1e-300, -1e-300, math.SmallestNonzeroFloat64, math.NaN(), math.Inf(1)} {
+		if ExactZero(x) {
+			t.Errorf("ExactZero(%v) = true, want false", x)
+		}
+	}
+}
+
+func TestExactEqual(t *testing.T) {
+	if !ExactEqual(1.5, 1.5) || ExactEqual(1.5, math.Nextafter(1.5, 2)) {
+		t.Error("ExactEqual must distinguish adjacent floats")
+	}
+	if ExactEqual(math.NaN(), math.NaN()) {
+		t.Error("ExactEqual(NaN, NaN) must be false (IEEE semantics)")
+	}
+	if !ExactEqual(0, math.Copysign(0, -1)) {
+		t.Error("ExactEqual(+0, −0) must be true (IEEE semantics)")
+	}
+}

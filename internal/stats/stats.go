@@ -144,7 +144,7 @@ func HarmonicMean(xs []float64) (float64, error) {
 func RelativeErrors(actual, pred []float64) []float64 {
 	out := make([]float64, 0, len(actual))
 	for i, a := range actual {
-		if a == 0 {
+		if ExactZero(a) {
 			continue
 		}
 		out = append(out, math.Abs(pred[i]-a)/math.Abs(a))
@@ -177,7 +177,7 @@ func HarmonicMeanRelativeError(actual, pred []float64) (float64, error) {
 	allExact := true
 	var s float64
 	for _, r := range rel {
-		if r != 0 {
+		if !ExactZero(r) {
 			allExact = false
 		}
 		if r < RelErrFloor {
@@ -237,7 +237,7 @@ func R2(actual, pred []float64) float64 {
 		t := a - mean
 		ssTot += t * t
 	}
-	if ssTot == 0 {
+	if ExactZero(ssTot) {
 		return 0
 	}
 	return 1 - ssRes/ssTot
@@ -257,7 +257,7 @@ func Correlation(xs, ys []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if ExactZero(sxx) || ExactZero(syy) {
 		return 0
 	}
 	return sxy / math.Sqrt(sxx*syy)

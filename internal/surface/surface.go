@@ -14,6 +14,7 @@ import (
 	"nnwc/internal/core"
 	"nnwc/internal/obs"
 	"nnwc/internal/sched"
+	"nnwc/internal/stats"
 )
 
 // Slice describes a 2-D cut through the configuration space.
@@ -208,8 +209,8 @@ func Classify(g *Grid) Analysis {
 	a.InteriorMin = trench(g, true)
 	a.InteriorMax = trench(g, false)
 
-	xIrr := a.XEffect < irrelevance*math.Max(a.XEffect, a.YEffect) || a.XEffect == 0
-	yIrr := a.YEffect < irrelevance*math.Max(a.XEffect, a.YEffect) || a.YEffect == 0
+	xIrr := a.XEffect < irrelevance*math.Max(a.XEffect, a.YEffect) || stats.ExactZero(a.XEffect)
+	yIrr := a.YEffect < irrelevance*math.Max(a.XEffect, a.YEffect) || stats.ExactZero(a.YEffect)
 	switch {
 	case xIrr != yIrr:
 		a.Shape = ShapeParallelSlopes
@@ -240,7 +241,7 @@ func Classify(g *Grid) Analysis {
 // margin of the grid range. Both orientations are tried.
 func trench(g *Grid, isMin bool) bool {
 	rangeZ := g.Range()
-	if rangeZ == 0 {
+	if stats.ExactZero(rangeZ) {
 		return false
 	}
 	better := func(a, b float64) bool {
@@ -306,7 +307,7 @@ func trench(g *Grid, isMin bool) bool {
 // averaged over the other, normalized by the grid range.
 func axisEffect(g *Grid, alongX bool) float64 {
 	rangeZ := g.Range()
-	if rangeZ == 0 {
+	if stats.ExactZero(rangeZ) {
 		return 0
 	}
 	var total float64

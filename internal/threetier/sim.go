@@ -108,6 +108,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:waive floateq -- event heap needs an exact time tie-break for a deterministic total order
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}

@@ -47,6 +47,7 @@ func NewGradients(net *nn.Network) *Gradients {
 }
 
 // Zero resets all gradient entries.
+//nnwc:hotpath
 func (g *Gradients) Zero() {
 	for i := range g.Flat {
 		g.Flat[i] = 0
@@ -54,11 +55,13 @@ func (g *Gradients) Zero() {
 }
 
 // AddScaled accumulates s*other into g.
+//nnwc:hotpath
 func (g *Gradients) AddScaled(s float64, other *Gradients) {
 	mat.AXPY(s, other.Flat, g.Flat)
 }
 
 // Scale multiplies every gradient entry by s.
+//nnwc:hotpath
 func (g *Gradients) Scale(s float64) {
 	for i := range g.Flat {
 		g.Flat[i] *= s
@@ -131,6 +134,7 @@ func Backprop(net *nn.Network, x, y []float64, out *Gradients) float64 {
 // per-sample path, so scale = 1/N reproduces the classic mean-gradient
 // epoch bit-for-bit). It returns the summed per-sample loss Σᵣ ½‖ŷᵣ − yᵣ‖².
 // Steady-state calls perform zero per-sample allocation.
+//nnwc:hotpath
 func BackpropBatch(net *nn.Network, X, Y *mat.Matrix, scale float64, ws *Workspace, out *Gradients) float64 {
 	if X.Rows != Y.Rows {
 		panic(fmt.Sprintf("train: batch has %d inputs but %d targets", X.Rows, Y.Rows))
@@ -139,6 +143,7 @@ func BackpropBatch(net *nn.Network, X, Y *mat.Matrix, scale float64, ws *Workspa
 		panic(fmt.Sprintf("train: targets have %d columns, network outputs %d", Y.Cols, net.OutputDim()))
 	}
 	if ws == nil {
+		//lint:waive hotpath -- nil-workspace fallback for one-shot callers; the training loop passes a warmed workspace
 		ws = &Workspace{}
 	}
 	acts, pres := net.ForwardTraceBatch(X, &ws.fw)
@@ -230,6 +235,7 @@ func Loss(net *nn.Network, xs, ys [][]float64) float64 {
 // LossBatch returns the mean squared-error loss of net over the rows of
 // X/Y using ws's buffers — the allocation-free batched counterpart of Loss,
 // with identical accumulation order.
+//nnwc:hotpath
 func LossBatch(net *nn.Network, X, Y *mat.Matrix, ws *Workspace) float64 {
 	if X.Rows == 0 {
 		return 0
@@ -238,6 +244,7 @@ func LossBatch(net *nn.Network, X, Y *mat.Matrix, ws *Workspace) float64 {
 		panic(fmt.Sprintf("train: batch has %d inputs but %d targets", X.Rows, Y.Rows))
 	}
 	if ws == nil {
+		//lint:waive hotpath -- nil-workspace fallback for one-shot callers; the training loop passes a warmed workspace
 		ws = &Workspace{}
 	}
 	pred := net.ForwardBatch(X, &ws.fw)

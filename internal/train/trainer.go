@@ -10,6 +10,7 @@ import (
 	"nnwc/internal/obs"
 	"nnwc/internal/obs/metrics"
 	"nnwc/internal/rng"
+	"nnwc/internal/stats"
 )
 
 // epochsTotal counts training epochs across every Fit in the process — one
@@ -324,6 +325,7 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 // optimizer step. It is the hot loop of batch training, extracted so the
 // zero-allocation guarantee of the tracing-disabled path can be pinned by
 // TestBatchEpochZeroAlloc.
+//nnwc:hotpath
 func (t *Trainer) batchEpoch(net *nn.Network, batchGrad *Gradients, n int, invN float64) float64 {
 	var trainLoss float64
 	if t.cfg.Workers > 1 && n >= 2*t.cfg.Workers {
@@ -380,7 +382,7 @@ func l2dist(a, b []float64) float64 {
 // conventionally left unpenalized: shrinking them shifts the function
 // rather than smoothing it.
 func applyWeightDecay(net *nn.Network, g *Gradients, lambda float64) {
-	if lambda == 0 {
+	if stats.ExactZero(lambda) {
 		return
 	}
 	for li, l := range net.Layers {
