@@ -82,6 +82,17 @@ func (o *obsFlags) setConfig(key string, value any) {
 	}
 }
 
+// addModel fingerprints a model artifact into the manifest (best-effort:
+// provenance should never fail a run that already did its work).
+func (o *obsFlags) addModel(name string, version int, path string) {
+	if o.run == nil {
+		return
+	}
+	if err := o.run.Manifest.AddModel(name, version, path); err != nil {
+		o.infof("nnwc %s: could not fingerprint model %s: %v\n", o.command, path, err)
+	}
+}
+
 // metric records one named result (e.g. the overall CV error) in the
 // manifest, so `nnwc runs diff` can compare runs without re-parsing traces.
 func (o *obsFlags) metric(name string, v float64) {

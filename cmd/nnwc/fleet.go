@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"nnwc/internal/serve"
+)
+
+// cmdFleet is the operator client for a running `nnwc serve` fleet: list
+// per-tenant deployment state, deploy a new artifact (live or as a canary),
+// and promote or roll back a tenant — all over the server's /fleet API.
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the running nnwc serve instance")
+	model := fs.String("model", "", "tenant to act on (deploy/promote/rollback)")
+	path := fs.String("path", "", "model artifact path, as visible to the server (deploy)")
+	canary := fs.Bool("canary", false, "stage the deploy as a shadow canary instead of swapping live")
+	timeout := fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage:
+  nnwc fleet list     [-addr URL]                              per-tenant deployment status
+  nnwc fleet deploy   [-addr URL] -model T -path P [-canary]   register an artifact; swap live or stage a canary
+  nnwc fleet promote  [-addr URL] -model T                     swap the tenant's canary to live
+  nnwc fleet rollback [-addr URL] -model T                     drop the canary, or revert live to its predecessor`)
+		fs.PrintDefaults()
+	}
+	// Allow the verb anywhere among the flags: `fleet list -addr x`,
+	// `fleet -addr x deploy -model y`. stdlib flag parsing stops at the
+	// first non-flag argument, so lift the verb out and resume parsing.
+	verb := ""
+	for {
+		if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+			if verb != "" {
+				fs.Usage()
+				return fmt.Errorf("unexpected argument %q after verb %q", args[0], verb)
+			}
+			verb, args = args[0], args[1:]
+			continue
+		}
+		fs.Parse(args)
+		if args = fs.Args(); len(args) == 0 {
+			break
+		}
+	}
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimSuffix(*addr, "/")
+	switch verb {
+	case "", "list":
+		return fleetList(client, base)
+	case "deploy":
+		if *model == "" || *path == "" {
+			return fmt.Errorf("fleet deploy needs -model and -path")
+		}
+		return fleetPost(client, base+"/fleet/deploy", map[string]any{
+			"model": *model, "path": *path, "canary": *canary,
+		})
+	case "promote", "rollback":
+		if *model == "" {
+			return fmt.Errorf("fleet %s needs -model", verb)
+		}
+		return fleetPost(client, base+"/fleet/"+verb, map[string]any{"model": *model})
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown fleet verb %q", verb)
+	}
+}
+
+func fleetList(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/fleet")
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fleetHTTPError(resp)
+	}
+	var st serve.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("fleet: decoding response: %w", err)
+	}
+	if len(st.Tenants) == 0 {
+		fmt.Println("fleet is empty")
+		return nil
+	}
+	fmt.Printf("%-12s %-6s %-14s %-8s %-10s %-10s %-10s %s\n",
+		"tenant", "live", "sha256", "shadow", "live-hmre", "shad-hmre", "diverge", "promote/rollback")
+	for _, t := range st.Tenants {
+		shadow := "-"
+		if t.ShadowVer > 0 {
+			shadow = fmt.Sprintf("v%d", t.ShadowVer)
+		}
+		fmt.Printf("%-12s v%-5d %-14.12s %-8s %-10s %-10s %-10s %d/%d\n",
+			t.Tenant, t.LiveVersion, t.LiveSHA256, shadow,
+			fmtRollingHMRE(t.LiveHMRE, t.LiveObs), fmtRollingHMRE(t.ShadowHMRE, t.ShadowObs),
+			fmtRollingHMRE(t.Divergence, -1), t.Promotions, t.Rollbacks)
+	}
+	fmt.Printf("%d warm model(s), %d batch group(s)\n", st.WarmCount, st.Groups)
+	return nil
+}
+
+// fmtRollingHMRE renders a rolling mean that may not have data yet; obs >= 0
+// appends the window fill.
+func fmtRollingHMRE(v *float64, obs int) string {
+	if v == nil {
+		return "-"
+	}
+	if obs >= 0 {
+		return fmt.Sprintf("%.3f/%d", *v, obs)
+	}
+	return fmt.Sprintf("%.4f", *v)
+}
+
+func fleetPost(client *http.Client, url string, body map[string]any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fleetHTTPError(resp)
+	}
+	var out struct {
+		Status string          `json:"status"`
+		Canary bool            `json:"canary"`
+		Model  serve.ModelInfo `json:"model"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("fleet: decoding response: %w", err)
+	}
+	if out.Model.Ref != "" {
+		role := ""
+		if out.Canary {
+			role = " (canary)"
+		}
+		fmt.Printf("%s: %s%s sha256 %.12s shape %s\n", out.Status, out.Model.Ref, role, out.Model.SHA256, out.Model.Shape)
+	} else {
+		fmt.Println(out.Status)
+	}
+	return nil
+}
+
+func fleetHTTPError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var er struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+		return fmt.Errorf("fleet: server said %d: %s", resp.StatusCode, er.Error)
+	}
+	return fmt.Errorf("fleet: server said %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+}

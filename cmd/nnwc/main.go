@@ -12,7 +12,8 @@
 //	nnwc surface   -model model.json -output 4 [-fixed 560,0,16,0] [-xi 1] [-yi 3] [-xrange 2:16:8] [-yrange 8:24:9] [-workers N]
 //	nnwc recommend -model model.json [-maximize 4] [-bounds 140,80,60,65,inf]
 //	nnwc compare   -data data.csv [-k 5] [-workers N]
-//	nnwc serve     -model model.json [-addr :8080] [-max-batch 64] [-max-wait 2ms] [-workers N]
+//	nnwc serve     -model model.json | -models web=a.json,db=b.json [-addr :8080] [-max-batch 64] [-max-wait 2ms] [-workers N] [-auto-promote]
+//	nnwc fleet     list|deploy|promote|rollback [-addr URL] [-model T] [-path P] [-canary]
 //	nnwc runs      list|show|diff [-dir runs] [id...]
 //
 // Long-running subcommands additionally accept -trace DIR (record a JSONL
@@ -55,6 +56,8 @@ func main() {
 		err = cmdRecommend(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "importance":
@@ -88,7 +91,9 @@ subcommands:
   predict    predict the performance indicators of one configuration
   surface    evaluate a model over a 2-D configuration slice (the paper's 3-D figures)
   recommend  search for the best configuration under a scoring function
-  serve      HTTP prediction server: coalesced batched inference, hot reload, metrics
+  serve      HTTP prediction server: a multi-tenant model fleet with cross-tenant
+             batched inference, canary/shadow deployment, hot reload, metrics
+  fleet      operate a running serve instance: list, deploy, promote, rollback
   compare    compare linear/polynomial/log/MLP/LNN model families by CV error
   importance permutation feature importance of a trained model on a dataset
   select     automated hidden-node-count selection by cross-validation

@@ -163,6 +163,17 @@ func runsShow(base, id string) error {
 	if m.DatasetPath != "" {
 		fmt.Printf("dataset:    %s (sha256 %s)\n", m.DatasetPath, m.DatasetHash)
 	}
+	if len(m.Models) > 0 {
+		fmt.Println("models:")
+		for _, ref := range m.Models {
+			name := ref.Name
+			if ref.Version > 0 {
+				// Registry-assigned version: render the fleet reference.
+				name = fmt.Sprintf("%s@v%d", ref.Name, ref.Version)
+			}
+			fmt.Printf("  %-18s %s (sha256 %s)\n", name, ref.Path, ref.SHA256)
+		}
+	}
 	if len(m.Config) > 0 {
 		fmt.Println("config:")
 		for _, k := range sortedKeys(m.Config) {

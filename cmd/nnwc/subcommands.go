@@ -219,6 +219,7 @@ func cmdTrain(args []string) error {
 		if err := model.SaveFile(*modelPath); err != nil {
 			return err
 		}
+		obsf.addModel("trained", 0, *modelPath)
 		ev, err := core.Evaluate(model, ds)
 		if err != nil {
 			return err

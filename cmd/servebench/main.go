@@ -11,8 +11,15 @@
 //     channel rendezvous, pool acquisition, and forward-call setup per
 //     batch instead of per request.
 //
+//   - fleet scenarios: eight tenants over three distinct network shapes
+//     served concurrently by -clients round-robin clients, measured twice —
+//     cross-tenant batching (tenants sharing a shape fill batches together)
+//     vs per-model batching (every model coalesces alone). Per-tenant rows
+//     land in the report alongside the aggregates.
+//
 // The headline coalesced_speedup fields compare coalesced vs single-request
-// throughput at full client concurrency for each layer.
+// throughput at full client concurrency for each layer; fleet_speedup
+// compares cross-tenant vs per-model batching for the fleet.
 //
 // Usage:
 //
@@ -29,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,8 +49,10 @@ import (
 
 type scenario struct {
 	Name     string  `json:"name"`
-	Layer    string  `json:"layer"` // "http" | "inproc"
+	Layer    string  `json:"layer"` // "http" | "inproc" | "fleet"
 	Coalesce bool    `json:"coalesce"`
+	Batching string  `json:"batching,omitempty"` // fleet rows: "cross_tenant" | "per_model"
+	Tenant   string  `json:"tenant,omitempty"`   // fleet per-tenant rows
 	Clients  int     `json:"clients"`
 	Requests int     `json:"requests"`
 	Seconds  float64 `json:"seconds"`
@@ -55,9 +65,12 @@ type report struct {
 	NumCPU                 int        `json:"num_cpu"`
 	GoMaxProcs             int        `json:"gomaxprocs"`
 	Quick                  bool       `json:"quick"`
+	FleetTenants           int        `json:"fleet_tenants"`
+	FleetShapes            int        `json:"fleet_shapes"`
 	Scenarios              []scenario `json:"scenarios"`
 	CoalescedSpeedupHTTP   float64    `json:"coalesced_speedup_http"`
 	CoalescedSpeedupInproc float64    `json:"coalesced_speedup_inproc"`
+	FleetSpeedup           float64    `json:"fleet_speedup"`
 }
 
 func main() {
@@ -119,10 +132,37 @@ func main() {
 		}
 	}
 
+	// Fleet: eight tenants over three shapes, cross-tenant vs per-model
+	// batching at full client concurrency.
+	fleetModels, shapes, err := trainFleetModels(dir)
+	if err != nil {
+		fatal(err)
+	}
+	rep.FleetTenants, rep.FleetShapes = len(fleetModels), shapes
+	var fleetRPS [2]float64 // [per_model, cross_tenant] aggregate RPS
+	for i, perModel := range []bool{true, false} {
+		scs, err := runFleetScenario(fleetModels, perModel, multi, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		for _, sc := range scs {
+			if sc.Tenant == "" {
+				fmt.Printf("%-24s %9.0f req/s   p50 %6.3fms   p99 %6.3fms\n", sc.Name, sc.RPS, sc.P50ms, sc.P99ms)
+				fleetRPS[i] = sc.RPS
+			}
+			rep.Scenarios = append(rep.Scenarios, sc)
+		}
+	}
+
 	rep.CoalescedSpeedupHTTP = speedup(rep.Scenarios, "http", multi)
 	rep.CoalescedSpeedupInproc = speedup(rep.Scenarios, "inproc", multi)
+	if !stats.ExactZero(fleetRPS[0]) {
+		rep.FleetSpeedup = fleetRPS[1] / fleetRPS[0]
+	}
 	fmt.Printf("coalesced speedup at %d clients: http %.2fx, inproc %.2fx\n",
 		multi, rep.CoalescedSpeedupHTTP, rep.CoalescedSpeedupInproc)
+	fmt.Printf("cross-tenant vs per-model batching at %d clients over %d tenants: %.2fx\n",
+		multi, len(fleetModels), rep.FleetSpeedup)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -296,6 +336,141 @@ func runInprocScenario(modelPath string, coalesce bool, clients int, dur time.Du
 	default:
 	}
 	return summarize(scenarioName("inproc", coalesce, clients), "inproc", coalesce, clients, latencies, elapsed), nil
+}
+
+// fleetTenantCount tenants spread over fleetHidden's distinct topologies.
+const fleetTenantCount = 8
+
+var fleetHidden = [][]int{{16}, {8}, {24}}
+
+// trainFleetModels fits one artifact per distinct shape and assigns the
+// fleet's tenants to them round-robin: w0,w3,w6 share shape 4-16-5, and so
+// on. Shape — not tenant identity — is what the cross-tenant batcher keys
+// on, so several lightly loaded tenants can fill one batch domain.
+func trainFleetModels(dir string) (map[string]string, int, error) {
+	ds := workload.NewDataset(
+		[]string{"rate", "default_threads", "mfg_threads", "web_threads"},
+		[]string{"y1", "y2", "y3", "y4", "y5"})
+	for i := 0; i < 96; i++ {
+		a, b := float64(i%8), float64(i/8)
+		ds.MustAppend(workload.Sample{
+			X: []float64{480 + 10*a, 2 + b, 8 + a, 8 + b},
+			Y: []float64{50 + a*b, 40 + a, 30 + b, 60 + a - b, 400 + 5*a},
+		})
+	}
+	artifacts := make([]string, len(fleetHidden))
+	for i, hidden := range fleetHidden {
+		tc := train.DefaultConfig()
+		tc.MaxEpochs = 200
+		model, err := core.Fit(ds, core.Config{Hidden: hidden, Train: &tc, Seed: uint64(i + 1)})
+		if err != nil {
+			return nil, 0, err
+		}
+		artifacts[i] = filepath.Join(dir, fmt.Sprintf("fleet-%d.json", i))
+		if err := model.SaveFile(artifacts[i]); err != nil {
+			return nil, 0, err
+		}
+	}
+	models := make(map[string]string, fleetTenantCount)
+	for t := 0; t < fleetTenantCount; t++ {
+		models[fmt.Sprintf("w%d", t)] = artifacts[t%len(fleetHidden)]
+	}
+	return models, len(fleetHidden), nil
+}
+
+// runFleetScenario serves the whole fleet from one process and drives it
+// with clients that round-robin across tenants, so at any instant several
+// tenants of each shape have rows in flight. Returns the aggregate row
+// first, then one row per tenant.
+func runFleetScenario(models map[string]string, perModel bool, clients int, dur time.Duration) ([]scenario, error) {
+	srv, err := serve.New(serve.Config{
+		Models:           models,
+		Workers:          runtime.GOMAXPROCS(0),
+		MaxBatch:         64,
+		MaxWait:          500 * time.Microsecond,
+		WarmModels:       2 * fleetTenantCount,
+		PerModelBatching: perModel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	tenants := make([]string, 0, len(models))
+	for t := range models {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+
+	ctx := context.Background()
+	x := []float64{560, 8, 16, 18}
+	for _, tenant := range tenants { // warm every batch domain
+		if _, err := srv.PredictRef(ctx, tenant, x); err != nil {
+			return nil, err
+		}
+	}
+
+	// latencies[c][t] collects client c's observations for tenant t —
+	// per-client storage, merged after the run, so the hot loop is
+	// contention-free.
+	latencies := make([][][]float64, clients)
+	for c := range latencies {
+		latencies[c] = make([][]float64, len(tenants))
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		//lint:waive sched -- load-generator client goroutine; the harness measures latency, results carry no model output
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(deadline); i++ {
+				t := i % len(tenants)
+				t0 := time.Now()
+				if _, err := srv.PredictRef(ctx, tenants[t], x); err != nil {
+					errCh <- err
+					return
+				}
+				latencies[c][t] = append(latencies[c][t], time.Since(t0).Seconds())
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	mode := "cross_tenant"
+	if perModel {
+		mode = "per_model"
+	}
+	name := fmt.Sprintf("fleet_%s_c%d", mode, clients)
+	var all [][]float64
+	out := make([]scenario, 0, len(tenants)+1)
+	out = append(out, scenario{}) // aggregate placeholder, filled below
+	for t, tenant := range tenants {
+		var rows [][]float64
+		for c := range latencies {
+			rows = append(rows, latencies[c][t])
+		}
+		all = append(all, rows...)
+		sc := summarize(name+"_"+tenant, "fleet", true, clients, rows, elapsed)
+		sc.Batching, sc.Tenant = mode, tenant
+		out = append(out, sc)
+	}
+	agg := summarize(name, "fleet", true, clients, all, elapsed)
+	agg.Batching = mode
+	out[0] = agg
+	return out, nil
 }
 
 func summarize(name, layer string, coalesce bool, clients int, latencies [][]float64, elapsed time.Duration) scenario {

@@ -37,8 +37,41 @@ type Manifest struct {
 	Config      map[string]any     `json:"config,omitempty"`
 	DatasetPath string             `json:"dataset_path,omitempty"`
 	DatasetHash string             `json:"dataset_sha256,omitempty"`
+	Models      []ModelRef         `json:"models,omitempty"`
 	Outcome     string             `json:"outcome,omitempty"` // "ok" or "error: ..."
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ModelRef links a run to a model artifact by the same SHA-256 fingerprint
+// the serve plane's registry keys versions with: a training run records the
+// artifact it wrote, a serve run records every artifact it registered, and
+// `nnwc runs show` prints the hashes so a fleet version can be traced back
+// to the run that produced or served it.
+type ModelRef struct {
+	Name    string `json:"name"`              // tenant (serve) or artifact role (train: "trained")
+	Version int    `json:"version,omitempty"` // registry version; 0 when not registry-assigned
+	Path    string `json:"path"`
+	SHA256  string `json:"sha256"`
+}
+
+// AddModel appends a model reference, fingerprinting the file at path.
+// Re-adding the same name+hash is a no-op, so hot-reload loops don't grow
+// the manifest.
+func (m *Manifest) AddModel(name string, version int, path string) error {
+	sha, err := HashFile(path)
+	if err != nil {
+		return err
+	}
+	for i, ref := range m.Models {
+		if ref.Name == name && ref.SHA256 == sha {
+			if version > ref.Version {
+				m.Models[i].Version = version
+			}
+			return nil
+		}
+	}
+	m.Models = append(m.Models, ModelRef{Name: name, Version: version, Path: path, SHA256: sha})
+	return nil
 }
 
 // NewRunID derives a run identifier from the command name, the start time

@@ -159,13 +159,173 @@ func (v *CounterVec) render(w io.Writer) {
 	v.mu.Unlock()
 	sort.Strings(keys)
 	for _, k := range keys {
-		parts := strings.Split(k, labelSep)
-		pairs := make([]string, len(parts))
-		for i, p := range parts {
-			pairs[i] = fmt.Sprintf("%s=%q", v.labels[i], p)
-		}
-		fmt.Fprintf(w, "%s{%s} %d\n", v.name, strings.Join(pairs, ","), vals[k])
+		fmt.Fprintf(w, "%s{%s} %d\n", v.name, labelPairs(v.labels, k), vals[k])
 	}
+}
+
+// GaugeVec is a labeled gauge: each distinct label-value tuple is one cell
+// holding the last Set value. Cells render sorted by label values.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	cells      map[string]float64
+}
+
+// GaugeVec registers and returns a labeled gauge.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, labels: labels, cells: make(map[string]float64)}
+	r.add(v)
+	return v
+}
+
+func (v *GaugeVec) key(values []string) string {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// Set stores the cell's current value.
+func (v *GaugeVec) Set(val float64, values ...string) {
+	k := v.key(values)
+	v.mu.Lock()
+	v.cells[k] = val
+	v.mu.Unlock()
+}
+
+// Add shifts the cell's current value by delta (creating it at delta).
+func (v *GaugeVec) Add(delta float64, values ...string) {
+	k := v.key(values)
+	v.mu.Lock()
+	v.cells[k] += delta
+	v.mu.Unlock()
+}
+
+// Value returns one cell's current value.
+func (v *GaugeVec) Value(values ...string) float64 {
+	k := v.key(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.cells[k]
+}
+
+func (v *GaugeVec) render(w io.Writer) {
+	header(w, v.name, v.help, "gauge")
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.cells))
+	for k := range v.cells {
+		keys = append(keys, k)
+	}
+	vals := make(map[string]float64, len(v.cells))
+	for k, x := range v.cells {
+		vals[k] = x
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s} %g\n", v.name, labelPairs(v.labels, k), vals[k])
+	}
+}
+
+// SummaryVec is a labeled Summary: each distinct label-value tuple gets its
+// own recent-observation window and lifetime sum/count. Cells render sorted
+// by label values.
+type SummaryVec struct {
+	name, help string
+	labels     []string
+	window     int
+	quantiles  []float64
+	mu         sync.Mutex
+	cells      map[string]*summaryCell
+}
+
+type summaryCell struct {
+	window *ring
+	sum    float64
+	count  uint64
+}
+
+// SummaryVec registers a labeled quantile summary; every cell gets the
+// given window capacity.
+func (r *Registry) SummaryVec(name, help string, window int, labels []string, quantiles ...float64) *SummaryVec {
+	v := &SummaryVec{
+		name: name, help: help, labels: labels,
+		window: window, quantiles: quantiles,
+		cells: make(map[string]*summaryCell),
+	}
+	r.add(v)
+	return v
+}
+
+func (v *SummaryVec) key(values []string) string {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// Observe records one value in the cell identified by the label values.
+func (v *SummaryVec) Observe(val float64, values ...string) {
+	k := v.key(values)
+	v.mu.Lock()
+	c, ok := v.cells[k]
+	if !ok {
+		c = &summaryCell{window: newRing(v.window)}
+		v.cells[k] = c
+	}
+	c.window.add(val)
+	c.sum += val
+	c.count++
+	v.mu.Unlock()
+}
+
+// Stats returns one cell's lifetime count and sum.
+func (v *SummaryVec) Stats(values ...string) (count uint64, sum float64) {
+	k := v.key(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.cells[k]; ok {
+		return c.count, c.sum
+	}
+	return 0, 0
+}
+
+func (v *SummaryVec) render(w io.Writer) {
+	header(w, v.name, v.help, "summary")
+	type snap struct {
+		key    string
+		window []float64
+		sum    float64
+		count  uint64
+	}
+	v.mu.Lock()
+	snaps := make([]snap, 0, len(v.cells))
+	for k, c := range v.cells {
+		snaps = append(snaps, snap{key: k, window: c.window.snapshot(), sum: c.sum, count: c.count})
+	}
+	v.mu.Unlock()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].key < snaps[j].key })
+	for _, s := range snaps {
+		pairs := labelPairs(v.labels, s.key)
+		if len(s.window) > 0 {
+			for _, q := range v.quantiles {
+				fmt.Fprintf(w, "%s{%s,quantile=\"%g\"} %g\n", v.name, pairs, q, stats.Quantile(s.window, q))
+			}
+		}
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", v.name, pairs, s.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", v.name, pairs, s.count)
+	}
+}
+
+// labelPairs renders a joined cell key as name="value" pairs.
+func labelPairs(labels []string, key string) string {
+	parts := strings.Split(key, labelSep)
+	pairs := make([]string, len(parts))
+	for i, p := range parts {
+		pairs[i] = fmt.Sprintf("%s=%q", labels[i], p)
+	}
+	return strings.Join(pairs, ",")
 }
 
 // GaugeFunc renders a single instantaneous value read from fn.

@@ -134,3 +134,59 @@ func TestDefaultIsSingleton(t *testing.T) {
 		t.Fatal("Default registry must be process-wide")
 	}
 }
+
+func TestGaugeVecSortedRendering(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("inflight", "in-flight requests", "model")
+	v.Set(3, "web")
+	v.Add(2, "web")
+	v.Add(1, "db")
+	if v.Value("web") != 5 || v.Value("db") != 1 {
+		t.Fatalf("cells web=%g db=%g, want 5 and 1", v.Value("web"), v.Value("db"))
+	}
+	var b strings.Builder
+	r.Write(&b)
+	want := `# HELP inflight in-flight requests
+# TYPE inflight gauge
+inflight{model="db"} 1
+inflight{model="web"} 5
+`
+	if b.String() != want {
+		t.Fatalf("rendered %q, want %q", b.String(), want)
+	}
+}
+
+func TestSummaryVecPerCellWindows(t *testing.T) {
+	r := NewRegistry()
+	v := r.SummaryVec("lat", "latency", 8, []string{"model"}, 0.5)
+	for i := 1; i <= 4; i++ {
+		v.Observe(float64(i), "web")
+	}
+	v.Observe(100, "db")
+	count, sum := v.Stats("web")
+	if count != 4 || sum != 10 {
+		t.Fatalf("web stats count=%d sum=%g, want 4 and 10", count, sum)
+	}
+	if count, _ := v.Stats("missing"); count != 0 {
+		t.Fatalf("missing cell count=%d, want 0", count)
+	}
+	var b strings.Builder
+	r.Write(&b)
+	got := b.String()
+	for _, want := range []string{
+		`lat{model="db",quantile="0.5"} 100`,
+		`lat_sum{model="db"} 100`,
+		`lat_count{model="db"} 1`,
+		`lat{model="web",quantile="0.5"}`,
+		`lat_sum{model="web"} 10`,
+		`lat_count{model="web"} 4`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, got)
+		}
+	}
+	// db sorts before web: labeled cells render in label order.
+	if strings.Index(got, `model="db"`) > strings.Index(got, `model="web"`) {
+		t.Fatalf("cells not sorted by label values:\n%s", got)
+	}
+}

@@ -15,11 +15,14 @@ const metricsWindow = 4096
 
 var latencyQuantiles = []float64{0.5, 0.9, 0.99}
 
-// metricsRegistry is the server's observability surface, built on the
-// shared exporter in internal/obs/metrics: request/error counters, latency
-// and batch-size distributions (recent-window quantiles), and reload
-// bookkeeping. All methods are safe for concurrent use. The exposition
-// schema (names, label sets, ordering) is pinned by TestMetricsSchema.
+// metricsRegistry is the fleet's observability surface, built on the
+// shared exporter in internal/obs/metrics: request/error counters and
+// latency/batch distributions at the HTTP layer, plus the per-tenant
+// surface admission control is driven by — per-model request counters,
+// latency summaries, in-flight gauges and shed counters — and the
+// deployment-controller counters (fleet events, rolling HMRE gauges,
+// shadow divergence). All methods are safe for concurrent use. The
+// exposition schema is pinned by TestMetricsSchema.
 type metricsRegistry struct {
 	reg       *metrics.Registry
 	requests  *metrics.CounterVec
@@ -28,9 +31,18 @@ type metricsRegistry struct {
 	batchSize *metrics.Summary
 	reloads   *metrics.Counter
 	inflight  atomic.Int64
+
+	tenantRequests *metrics.CounterVec
+	tenantLatency  *metrics.SummaryVec
+	tenantInflight *metrics.GaugeVec
+	tenantShed     *metrics.CounterVec
+
+	fleetEvents *metrics.CounterVec
+	rollingHMRE *metrics.GaugeVec
+	divergence  *metrics.SummaryVec
 }
 
-func newMetricsRegistry() *metricsRegistry {
+func newMetricsRegistry(warmModels, batchGroups func() float64) *metricsRegistry {
 	m := &metricsRegistry{reg: metrics.NewRegistry()}
 	m.requests = m.reg.CounterVec("nnwc_requests_total",
 		"Requests served, by endpoint and status code.", "endpoint", "code")
@@ -41,10 +53,37 @@ func newMetricsRegistry() *metricsRegistry {
 	m.batchSize = m.reg.Summary("nnwc_batch_size",
 		"Rows per coalesced forward call over the recent window.", metricsWindow, latencyQuantiles...)
 	m.reloads = m.reg.Counter("nnwc_model_reloads_total",
-		"Successful model hot reloads since start.")
+		"Live-model swaps from hot reloads since start.")
 	m.reg.GaugeFunc("nnwc_inflight_requests",
 		"Predict requests currently being handled.",
 		func() float64 { return float64(m.inflight.Load()) })
+
+	m.tenantRequests = m.reg.CounterVec("nnwc_tenant_requests_total",
+		"Predict requests by model and status code.", "model", "code")
+	m.tenantLatency = m.reg.SummaryVec("nnwc_tenant_latency_seconds",
+		"Prediction latency by model over the recent window.",
+		metricsWindow, []string{"model"}, latencyQuantiles...)
+	m.tenantInflight = m.reg.GaugeVec("nnwc_tenant_inflight_requests",
+		"Predict requests in flight, by model.", "model")
+	m.tenantShed = m.reg.CounterVec("nnwc_tenant_shed_total",
+		"Requests shed by admission control, by model and reason.", "model", "reason")
+
+	m.fleetEvents = m.reg.CounterVec("nnwc_fleet_events_total",
+		"Deployment-controller actions, by model and action.", "model", "action")
+	m.rollingHMRE = m.reg.GaugeVec("nnwc_fleet_rolling_hmre",
+		"Rolling mean per-observation HMRE from reported actuals, by model and role.", "model", "role")
+	m.divergence = m.reg.SummaryVec("nnwc_fleet_shadow_divergence",
+		"Relative gap between mirrored shadow and live predictions.",
+		metricsWindow, []string{"model"}, latencyQuantiles...)
+
+	if warmModels != nil {
+		m.reg.GaugeFunc("nnwc_registry_warm_models",
+			"Model instances currently loaded in the registry's LRU cache.", warmModels)
+	}
+	if batchGroups != nil {
+		m.reg.GaugeFunc("nnwc_batch_groups",
+			"Active cross-tenant coalescing domains (distinct network shapes).", batchGroups)
+	}
 	return m
 }
 
@@ -53,6 +92,20 @@ func (m *metricsRegistry) observeRequest(endpoint string, code int, seconds floa
 	if endpoint == "predict" {
 		m.latency.Observe(seconds)
 	}
+}
+
+// observeTenantRequest records the per-model request outcome and, for
+// successes, its latency.
+func (m *metricsRegistry) observeTenantRequest(tenant string, code int, seconds float64) {
+	m.tenantRequests.Inc(tenant, strconv.Itoa(code))
+	if code < 400 {
+		m.tenantLatency.Observe(seconds, tenant)
+	}
+}
+
+func (m *metricsRegistry) observeShed(tenant, reason string) {
+	m.tenantShed.Inc(tenant, reason)
+	m.errors.Inc(reason)
 }
 
 func (m *metricsRegistry) observeError(reason string) {
@@ -75,7 +128,7 @@ func (m *metricsRegistry) batchStats() (batches, rows uint64) {
 }
 
 // modelMeta is the metadata slice of /metrics, snapshotted from the
-// currently loaded model.
+// default tenant's live model.
 type modelMeta struct {
 	path       string
 	loadedUnix int64
@@ -84,7 +137,7 @@ type modelMeta struct {
 }
 
 // write renders the Prometheus text exposition format: the registry's
-// metrics in registration order, then the per-request model metadata.
+// metrics in registration order, then the default model's metadata.
 func (m *metricsRegistry) write(w io.Writer, meta *modelMeta) {
 	m.reg.Write(w)
 	if meta != nil {

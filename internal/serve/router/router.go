@@ -1,0 +1,96 @@
+// Package router resolves per-request model references to loaded
+// instances. A reference is a tenant name with an optional pinned version:
+//
+//	""          the server's default tenant, live version
+//	"web"       tenant web, live version (follows promotions/rollbacks)
+//	"web@v3"    tenant web, version 3 exactly (also accepted as "web@3")
+//
+// Live resolution reads one atomic pointer from the deployment controller;
+// pinned versions go through the registry's warm-instance cache, so an
+// old version that is still queried stays loaded and a forgotten one costs
+// one reload. The instance a request resolves is immutable — concurrent
+// promotion cannot change a request mid-flight.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nnwc/internal/serve/deploy"
+	"nnwc/internal/serve/registry"
+)
+
+// Sentinel resolution failures, wrapped with detail — the HTTP plane maps
+// them to status codes (400 / 404 / 503).
+var (
+	ErrBadRef       = errors.New("malformed model reference")
+	ErrUnknownModel = errors.New("unknown model")
+	ErrNoLive       = errors.New("model has no live version")
+)
+
+// Router maps model references to instances.
+type Router struct {
+	reg           *registry.Registry
+	ctl           *deploy.Controller
+	defaultTenant string
+}
+
+// New builds a router. defaultTenant serves requests that name no model;
+// it may be empty when the fleet has no default.
+func New(reg *registry.Registry, ctl *deploy.Controller, defaultTenant string) *Router {
+	return &Router{reg: reg, ctl: ctl, defaultTenant: defaultTenant}
+}
+
+// DefaultTenant reports the tenant unnamed requests route to.
+func (r *Router) DefaultTenant() string { return r.defaultTenant }
+
+// ParseRef splits a model reference into tenant and pinned version
+// (version 0 = live).
+func ParseRef(ref string) (tenant string, version int, err error) {
+	tenant, ver, ok := strings.Cut(ref, "@")
+	if !ok {
+		return tenant, 0, nil
+	}
+	ver = strings.TrimPrefix(ver, "v")
+	n, err := strconv.Atoi(ver)
+	if err != nil || n < 1 || tenant == "" {
+		return "", 0, fmt.Errorf("router: %w %q (want name or name@vN)", ErrBadRef, ref)
+	}
+	return tenant, n, nil
+}
+
+// Resolve returns the instance serving ref, plus its deployment (nil for
+// version-pinned refs, which bypass deployment state).
+func (r *Router) Resolve(ref string) (*registry.Instance, *deploy.Deployment, error) {
+	tenant, version, err := ParseRef(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tenant == "" {
+		tenant = r.defaultTenant
+		if tenant == "" {
+			return nil, nil, fmt.Errorf("router: request names no model and the fleet has no default tenant: %w", ErrUnknownModel)
+		}
+	}
+	if version > 0 {
+		if _, ok := r.reg.Artifact(tenant, version); !ok {
+			return nil, nil, fmt.Errorf("router: %w: %s@v%d", ErrUnknownModel, tenant, version)
+		}
+		inst, err := r.reg.Instance(tenant, version)
+		if err != nil {
+			return nil, nil, err
+		}
+		return inst, nil, nil
+	}
+	d := r.ctl.Deployment(tenant)
+	if d == nil {
+		return nil, nil, fmt.Errorf("router: %w %q", ErrUnknownModel, tenant)
+	}
+	inst := d.Live()
+	if inst == nil {
+		return nil, nil, fmt.Errorf("router: %w: %q", ErrNoLive, tenant)
+	}
+	return inst, d, nil
+}

@@ -1,0 +1,103 @@
+package router
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nnwc/internal/core"
+	"nnwc/internal/serve/deploy"
+	"nnwc/internal/serve/registry"
+	"nnwc/internal/train"
+	"nnwc/internal/workload"
+)
+
+func trainModel(t *testing.T, dir, name string, seed uint64) string {
+	t.Helper()
+	ds := workload.NewDataset([]string{"a", "b"}, []string{"u", "v"})
+	for i := 0; i < 40; i++ {
+		a, b := float64(i%8)-4, float64(i/8)-2
+		ds.MustAppend(workload.Sample{X: []float64{a, b}, Y: []float64{10 + a*a - b, 5 + a + 2*b}})
+	}
+	tc := train.DefaultConfig()
+	tc.MaxEpochs = 60
+	m, err := core.Fit(ds, core.Config{Hidden: []int{4}, Train: &tc, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseRef(t *testing.T) {
+	cases := []struct {
+		ref     string
+		tenant  string
+		version int
+		bad     bool
+	}{
+		{"", "", 0, false},
+		{"web", "web", 0, false},
+		{"web@v3", "web", 3, false},
+		{"web@3", "web", 3, false},
+		{"web@", "", 0, true},
+		{"web@v0", "", 0, true},
+		{"@v1", "", 0, true},
+		{"web@vx", "", 0, true},
+	}
+	for _, c := range cases {
+		tenant, version, err := ParseRef(c.ref)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseRef(%q) accepted", c.ref)
+			}
+			continue
+		}
+		if err != nil || tenant != c.tenant || version != c.version {
+			t.Errorf("ParseRef(%q) = %q,%d,%v want %q,%d", c.ref, tenant, version, err, c.tenant, c.version)
+		}
+	}
+}
+
+func TestResolveLiveAndPinned(t *testing.T) {
+	dir := t.TempDir()
+	reg := registry.New(4)
+	ctl := deploy.New(reg, deploy.Config{}, nil)
+	if _, err := ctl.Deploy("web", trainModel(t, dir, "a.json", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Deploy("web", trainModel(t, dir, "b.json", 2), false); err != nil {
+		t.Fatal(err)
+	}
+	r := New(reg, ctl, "web")
+
+	// Empty ref → default tenant's live (v2 after the second deploy).
+	inst, d, err := r.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Version != 2 || d == nil {
+		t.Fatalf("live resolve = %s (deployment %v), want web@v2 with deployment", inst.Ref(), d)
+	}
+
+	// Pinned old version resolves through the registry, no deployment.
+	inst, d, err = r.Resolve("web@v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Version != 1 || d != nil {
+		t.Fatalf("pinned resolve = %s (deployment %v), want web@v1, nil deployment", inst.Ref(), d)
+	}
+
+	if _, _, err := r.Resolve("nope"); err == nil {
+		t.Fatal("unknown tenant resolved")
+	}
+	if _, _, err := r.Resolve("web@v9"); err == nil {
+		t.Fatal("unknown version resolved")
+	}
+	if _, _, err := New(reg, ctl, "").Resolve(""); err == nil {
+		t.Fatal("empty ref resolved with no default tenant")
+	}
+}

@@ -1,19 +1,34 @@
-// Package serve is the production prediction service: it loads a persisted
-// workload model (network + fitted scalers, core/persist), exposes an HTTP
-// API for configuration-parameter → performance-indicator predictions, and
-// keeps the hot path batched — concurrent requests are coalesced into one
-// batched forward call through the zero-allocation nn kernels.
+// Package serve is the production prediction service, structured as a
+// multi-tenant model fleet:
+//
+//   - registry  versioned immutable artifacts keyed by SHA-256, with an
+//     LRU cache of warm (loaded) instances
+//   - deploy    per-tenant live/shadow deployments with canary mirroring,
+//     rolling-HMRE policy, auto-promotion and rollback
+//   - router    per-request "model@version" resolution to instances
+//   - batch     cross-tenant request coalescing: tenants whose networks
+//     share a topology fill one batch domain together
+//
+// This package is the HTTP plane on top: it decodes requests, validates
+// rows against the resolved artifact's schema, applies admission control
+// (per-tenant in-flight budgets, latency budgets, and the batcher's
+// queue-depth shedding), and renders responses and metrics.
 //
 // Endpoints:
 //
-//	POST /predict   {"x":[...]} or {"instances":[[...],...]} → predictions
-//	GET  /healthz   liveness (process up)
-//	GET  /readyz    readiness (model loaded, not draining)
-//	GET  /metrics   Prometheus text: request/error counters, latency and
-//	                batch-size quantiles, model metadata
-//	POST /-/reload  atomically reload the model artifact from disk
+//	POST /predict         {"model":"web@v3","x":[...]} or {"instances":[[...],...]}
+//	POST /observe         {"model":"web","x":[...],"actual":[...]} → policy decision
+//	GET  /fleet           per-tenant deployment status (versions, SHAs, HMRE)
+//	POST /fleet/deploy    {"model":"web","path":"m.json","canary":true}
+//	POST /fleet/promote   {"model":"web"}
+//	POST /fleet/rollback  {"model":"web"}
+//	GET  /healthz         liveness (process up)
+//	GET  /readyz          readiness (≥1 live model, not draining)
+//	GET  /metrics         Prometheus text: fleet, per-tenant and batch metrics
+//	POST /-/reload        re-register every tenant's configured path; changed
+//	                      bytes become a new version deployed straight to live
 //
-// The model can also be hot-reloaded with SIGHUP (wired in cmd/nnwc).
+// Models can also be hot-reloaded with SIGHUP (wired in cmd/nnwc).
 // Shutdown drains: readiness flips immediately, in-flight requests finish,
 // then the inference workers stop.
 package serve
@@ -26,11 +41,15 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
-	"nnwc/internal/core"
+	"nnwc/internal/obs"
+	"nnwc/internal/serve/batch"
+	"nnwc/internal/serve/deploy"
+	"nnwc/internal/serve/registry"
+	"nnwc/internal/serve/router"
 )
 
 // Config parameterizes a Server. Zero values get production defaults.
@@ -38,8 +57,20 @@ type Config struct {
 	// Addr is the listen address (default ":8080"; use "127.0.0.1:0" in
 	// tests and read the bound address back with Addr).
 	Addr string
-	// ModelPath is the persisted model artifact to serve and hot-reload.
+	// ModelPath is a single persisted model artifact, served as tenant
+	// "default" — the pre-fleet configuration, kept for compatibility.
 	ModelPath string
+	// Models maps tenant name → artifact path; every entry is registered
+	// and deployed live at startup. May be combined with ModelPath.
+	Models map[string]string
+	// DefaultTenant serves requests that name no model. Defaults to the
+	// only tenant when exactly one is configured, else "" (unnamed
+	// requests are rejected).
+	DefaultTenant string
+	// WarmModels caps the registry's loaded-instance LRU (default 8).
+	WarmModels int
+	// Deploy tunes the canary promotion/rollback policy.
+	Deploy deploy.Config
 	// MaxBatch bounds the rows gathered into one forward call (default
 	// 64). 1 disables coalescing — every request is its own forward call.
 	MaxBatch int
@@ -49,13 +80,29 @@ type Config struct {
 	MaxWait time.Duration
 	// RequestTimeout bounds one prediction end to end (default 5s).
 	RequestTimeout time.Duration
-	// Workers is the number of independent gather-and-infer loops
+	// Workers is the number of gather-and-infer loops per batch domain
 	// (default GOMAXPROCS).
 	Workers int
-	// QueueDepth is the pending-row buffer (default 1024).
+	// QueueDepth is each batch domain's pending-row buffer (default 1024).
+	// A full queue sheds new rows with 429 — the queue-depth half of
+	// admission control.
 	QueueDepth int
+	// MaxInflight caps concurrently handled predict requests per tenant;
+	// beyond it requests shed with 429 (default 0: uncapped).
+	MaxInflight int
+	// LatencyBudget, when set, bounds one prediction tighter than
+	// RequestTimeout; a request that cannot finish inside the budget is
+	// shed with 429 so queue pressure relieves itself (default 0: off).
+	LatencyBudget time.Duration
+	// PerModelBatching keys batch domains by tenant@version instead of
+	// network shape — every model coalesces alone. The configuration the
+	// fleet replaces; kept so servebench can measure both.
+	PerModelBatching bool
 	// MaxBodyBytes caps a request body (default 1 MiB).
 	MaxBodyBytes int64
+	// Trace, when set, receives registry and deployment events
+	// (model_deploy, model_promote, ...) for the run's trace file.
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -65,17 +112,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
-	if c.MaxWait < 0 {
-		c.MaxWait = 0
-	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
-	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 1024
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
@@ -83,97 +121,175 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// batchPredictor is what inference needs from a model; *core.NNModel
-// satisfies it, and tests wrap it to inject latency.
-type batchPredictor interface {
-	PredictAll(xs [][]float64) [][]float64
-}
-
-// modelState is one immutable loaded-model snapshot. Hot reload swaps the
-// whole state atomically, so a batch always sees one consistent model.
-type modelState struct {
-	pred                   batchPredictor
-	inputDim, outputDim    int
-	featureNames           []string
-	targetNames            []string
-	featureMin, featureMax []float64
-	path                   string
-	loadedAt               time.Time
-}
-
-func newModelState(m *core.NNModel, path string) *modelState {
-	return &modelState{
-		pred:         m,
-		inputDim:     m.InputDim(),
-		outputDim:    m.OutputDim(),
-		featureNames: m.FeatureNames,
-		targetNames:  m.TargetNames,
-		featureMin:   m.FeatureMin,
-		featureMax:   m.FeatureMax,
-		path:         path,
-		loadedAt:     time.Now(),
-	}
-}
+// DefaultSingleTenant is the tenant name a bare ModelPath is served under.
+const DefaultSingleTenant = "default"
 
 // Server is the prediction service. Create with New, start listening with
 // Start, stop with Shutdown.
 type Server struct {
-	cfg      Config
-	model    atomic.Pointer[modelState]
-	metrics  *metricsRegistry
-	co       *coalescer
+	cfg     Config
+	reg     *registry.Registry
+	ctl     *deploy.Controller
+	router  *router.Router
+	batcher *batch.Batcher
+	metrics *metricsRegistry
+
+	// tenantPaths remembers each tenant's configured artifact path — the
+	// file /-/reload and SIGHUP re-register.
+	tenantPaths map[string]string
+
 	http     *http.Server
 	ln       net.Listener
 	draining atomic.Bool
 	serveErr chan error
 }
 
-// New builds a Server, loads the initial model from cfg.ModelPath (when
-// set), and starts the inference workers. The HTTP listener is not opened
-// until Start; Handler can be mounted elsewhere (tests, embedding).
+// New builds a Server: the registry, deployment controller, router and
+// cross-tenant batcher are wired together, every configured model is
+// registered and deployed live, and the inference workers start. The HTTP
+// listener is not opened until Start; Handler can be mounted elsewhere
+// (tests, embedding).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		metrics:  newMetricsRegistry(),
-		serveErr: make(chan error, 1),
+		cfg:         cfg,
+		reg:         registry.New(cfg.WarmModels),
+		tenantPaths: make(map[string]string),
+		serveErr:    make(chan error, 1),
 	}
-	s.co = newCoalescer(cfg.MaxBatch, cfg.MaxWait, cfg.QueueDepth, s.runBatch)
+	s.metrics = newMetricsRegistry(
+		func() float64 { return float64(s.reg.WarmCount()) },
+		func() float64 { return float64(s.batcher.GroupCount()) },
+	)
+	s.ctl = deploy.New(s.reg, cfg.Deploy, s.onFleetEvent)
+	s.batcher = batch.New(batch.Config{
+		MaxBatch:   cfg.MaxBatch,
+		MaxWait:    cfg.MaxWait,
+		QueueDepth: cfg.QueueDepth,
+		Workers:    cfg.Workers,
+		PerModel:   cfg.PerModelBatching,
+	}, s.runBatch)
+
 	if cfg.ModelPath != "" {
-		m, err := core.LoadModelFile(cfg.ModelPath)
-		if err != nil {
-			return nil, fmt.Errorf("serve: loading model: %w", err)
-		}
-		s.model.Store(newModelState(m, cfg.ModelPath))
+		s.tenantPaths[DefaultSingleTenant] = cfg.ModelPath
 	}
-	s.co.start(cfg.Workers)
+	for tenant, path := range cfg.Models {
+		if prev, ok := s.tenantPaths[tenant]; ok && prev != path {
+			return nil, fmt.Errorf("serve: tenant %q configured twice (%s and %s)", tenant, prev, path)
+		}
+		s.tenantPaths[tenant] = path
+	}
+	for _, tenant := range sortedTenants(s.tenantPaths) {
+		if _, err := s.ctl.Deploy(tenant, s.tenantPaths[tenant], false); err != nil {
+			s.batcher.Shutdown()
+			return nil, fmt.Errorf("serve: deploying %q: %w", tenant, err)
+		}
+	}
+	def := cfg.DefaultTenant
+	if def == "" && len(s.tenantPaths) == 1 {
+		for tenant := range s.tenantPaths {
+			def = tenant
+		}
+	}
+	if def != "" {
+		if _, ok := s.tenantPaths[def]; !ok {
+			s.batcher.Shutdown()
+			return nil, fmt.Errorf("serve: default tenant %q has no configured model", def)
+		}
+	}
+	s.router = router.New(s.reg, s.ctl, def)
 	return s, nil
 }
 
-// Reload atomically replaces the serving model with a fresh load of
-// cfg.ModelPath. On failure the previous model keeps serving.
-func (s *Server) Reload() error {
-	m, err := core.LoadModelFile(s.cfg.ModelPath)
-	if err != nil {
-		s.metrics.observeError("reload_failed")
-		return fmt.Errorf("serve: reload: %w", err)
+func sortedTenants(m map[string]string) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
 	}
-	s.model.Store(newModelState(m, s.cfg.ModelPath))
-	s.metrics.observeReload()
+	sort.Strings(names)
+	return names
+}
+
+// onFleetEvent is the deployment controller's sink: count the action,
+// surface the rolled version in the run trace.
+func (s *Server) onFleetEvent(e deploy.Event) {
+	s.metrics.fleetEvents.Inc(e.Tenant, e.Action)
+	if s.cfg.Trace != nil {
+		auto := 0
+		if e.Auto {
+			auto = 1
+		}
+		s.cfg.Trace.Emit("model_"+e.Action,
+			obs.String("tenant", e.Tenant),
+			obs.Int("version", e.Version),
+			obs.String("sha256", e.SHA256),
+			obs.Int("auto", auto))
+	}
+}
+
+// Registry exposes the model store (for manifests and tests).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Controller exposes the deployment controller (for tests and embedding).
+func (s *Server) Controller() *deploy.Controller { return s.ctl }
+
+// Reload re-registers every tenant's configured artifact path. Files whose
+// bytes changed become a new registry version and swap straight to live
+// (requests in flight keep their resolved snapshot); unchanged files are
+// no-ops. Used by /-/reload and SIGHUP.
+func (s *Server) Reload() error {
+	var errs []error
+	for _, tenant := range sortedTenants(s.tenantPaths) {
+		var before *registry.Instance
+		if d := s.ctl.Deployment(tenant); d != nil {
+			before = d.Live()
+		}
+		inst, err := s.ctl.Deploy(tenant, s.tenantPaths[tenant], false)
+		if err != nil {
+			s.metrics.observeError("reload_failed")
+			errs = append(errs, fmt.Errorf("%s: %w", tenant, err))
+			continue
+		}
+		if before == nil || inst.Version != before.Version {
+			s.metrics.observeReload()
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("serve: reload: %w", errors.Join(errs...))
+	}
 	return nil
 }
 
-// ModelInfo describes the serving model in API responses.
+// ModelInfo describes the model that served a response.
 type ModelInfo struct {
+	Ref          string   `json:"ref"` // tenant@vN
+	Version      int      `json:"version"`
+	SHA256       string   `json:"sha256"`
+	Shape        string   `json:"shape"`
 	Path         string   `json:"path"`
 	LoadedAt     string   `json:"loaded_at"`
 	FeatureNames []string `json:"feature_names"`
 	TargetNames  []string `json:"target_names"`
 }
 
+func modelInfo(inst *registry.Instance) ModelInfo {
+	return ModelInfo{
+		Ref:          inst.Ref(),
+		Version:      inst.Version,
+		SHA256:       inst.SHA256,
+		Shape:        inst.Shape,
+		Path:         inst.Path,
+		LoadedAt:     inst.LoadedAt.UTC().Format(time.RFC3339Nano),
+		FeatureNames: inst.FeatureNames,
+		TargetNames:  inst.TargetNames,
+	}
+}
+
 // PredictRequest is the /predict body: one vector in X, or several in
-// Instances (exactly one of the two).
+// Instances (exactly one of the two). Model selects the serving model —
+// "" (the default tenant), "web" (live), or "web@v3" (pinned).
 type PredictRequest struct {
+	Model     string      `json:"model,omitempty"`
 	X         []float64   `json:"x,omitempty"`
 	Instances [][]float64 `json:"instances,omitempty"`
 }
@@ -187,6 +303,80 @@ type PredictResponse struct {
 	Model       ModelInfo   `json:"model"`
 }
 
+// ObserveRequest is the /observe body: one configuration vector and the
+// performance indicators actually measured for it. Observations feed the
+// named tenant's rolling-HMRE windows (live and shadow) and drive the
+// canary policy.
+type ObserveRequest struct {
+	Model  string    `json:"model,omitempty"`
+	X      []float64 `json:"x"`
+	Actual []float64 `json:"actual"`
+}
+
+// ObserveResponse reports the rolling state after one observation. HMRE
+// fields are omitted until their window has data.
+type ObserveResponse struct {
+	Tenant     string   `json:"tenant"`
+	LiveHMRE   *float64 `json:"live_hmre,omitempty"`
+	ShadowHMRE *float64 `json:"shadow_hmre,omitempty"`
+	Promoted   bool     `json:"promoted,omitempty"`
+	RolledBack bool     `json:"rolled_back,omitempty"`
+}
+
+// TenantStatus is one tenant's /fleet row — deploy.Status with the
+// NaN-able rolling means made JSON-safe.
+type TenantStatus struct {
+	Tenant       string   `json:"tenant"`
+	LiveVersion  int      `json:"live_version"`
+	LiveSHA256   string   `json:"live_sha256"`
+	LiveShape    string   `json:"live_shape"`
+	ShadowVer    int      `json:"shadow_version,omitempty"`
+	ShadowSHA256 string   `json:"shadow_sha256,omitempty"`
+	PrevVersion  int      `json:"previous_version,omitempty"`
+	LiveHMRE     *float64 `json:"live_hmre,omitempty"`
+	ShadowHMRE   *float64 `json:"shadow_hmre,omitempty"`
+	Divergence   *float64 `json:"shadow_divergence,omitempty"`
+	LiveObs      int      `json:"live_observations"`
+	ShadowObs    int      `json:"shadow_observations"`
+	Promotions   uint64   `json:"promotions"`
+	Rollbacks    uint64   `json:"rollbacks"`
+}
+
+// FleetStatus is the /fleet reply.
+type FleetStatus struct {
+	Tenants   []TenantStatus `json:"tenants"`
+	WarmCount int            `json:"warm_models"`
+	Groups    int            `json:"batch_groups"`
+}
+
+// nanSafe converts a possibly-NaN float into a JSON-encodable pointer
+// (json.Marshal rejects NaN outright).
+func nanSafe(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func tenantStatus(st deploy.Status) TenantStatus {
+	return TenantStatus{
+		Tenant:       st.Tenant,
+		LiveVersion:  st.LiveVersion,
+		LiveSHA256:   st.LiveSHA256,
+		LiveShape:    st.LiveShape,
+		ShadowVer:    st.ShadowVer,
+		ShadowSHA256: st.ShadowSHA256,
+		PrevVersion:  st.PrevVersion,
+		LiveHMRE:     nanSafe(st.LiveHMRE),
+		ShadowHMRE:   nanSafe(st.ShadowHMRE),
+		Divergence:   nanSafe(st.Divergence),
+		LiveObs:      st.LiveObs,
+		ShadowObs:    st.ShadowObs,
+		Promotions:   st.Promotions,
+		Rollbacks:    st.Rollbacks,
+	}
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -195,6 +385,11 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("POST /observe", s.handleObserve)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
+	mux.HandleFunc("POST /fleet/deploy", s.handleFleetDeploy)
+	mux.HandleFunc("POST /fleet/promote", s.handleFleetAction("promote", s.ctl.Promote))
+	mux.HandleFunc("POST /fleet/rollback", s.handleFleetAction("rollback", s.ctl.Rollback))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -233,19 +428,25 @@ func (s *Server) Addr() string {
 // Shutdown-initiated close; use Shutdown from a signal handler for that).
 func (s *Server) Wait() error { return <-s.serveErr }
 
-// Predict submits one row through the coalescer and returns its prediction.
-// This is the same inference path the /predict handler uses, minus HTTP —
-// for embedding the server in-process and for benchmarks that isolate the
-// micro-batching layer.
+// Predict submits one row to the default tenant's live model — the
+// pre-fleet in-process API, equivalent to PredictRef(ctx, "", x).
 func (s *Server) Predict(ctx context.Context, x []float64) ([]float64, error) {
-	ms := s.model.Load()
-	if ms == nil {
-		return nil, errors.New("serve: no model loaded")
+	return s.PredictRef(ctx, "", x)
+}
+
+// PredictRef resolves ref ("", "web", "web@v3") and submits one row
+// through the cross-tenant batcher. This is the same inference path the
+// /predict handler uses, minus HTTP — for embedding the server in-process
+// and for benchmarks that isolate the micro-batching layer.
+func (s *Server) PredictRef(ctx context.Context, ref string, x []float64) ([]float64, error) {
+	inst, _, err := s.router.Resolve(ref)
+	if err != nil {
+		return nil, err
 	}
-	if len(x) != ms.inputDim {
-		return nil, fmt.Errorf("serve: model expects %d features, got %d", ms.inputDim, len(x))
+	if len(x) != inst.InputDim {
+		return nil, fmt.Errorf("serve: model %s expects %d features, got %d", inst.Ref(), inst.InputDim, len(x))
 	}
-	ys, err := s.co.submitAll(ctx, [][]float64{x})
+	ys, err := s.batcher.Submit(ctx, inst, [][]float64{x})
 	if err != nil {
 		return nil, err
 	}
@@ -262,60 +463,87 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.http != nil {
 		err = s.http.Shutdown(ctx)
 	}
-	s.co.shutdown()
+	s.batcher.Shutdown()
 	return err
 }
 
-// runBatch is the coalescer's inference callback: validate each row against
-// the current model snapshot, run one batched forward call, fan the rows
-// back out.
-func (s *Server) runBatch(batch []predictJob) {
-	ms := s.model.Load()
-	s.metrics.observeBatch(len(batch))
-	if ms == nil {
-		for _, j := range batch {
-			j.reply <- predictResult{err: errors.New("serve: no model loaded")}
-		}
-		return
+// runBatch is the batcher's inference callback. The gathered super-batch
+// may span several instances of one network shape; rows regroup by
+// instance (weights differ) and each sub-batch takes one batched forward
+// call. After replies fan out, live rows whose tenant has a staged shadow
+// are mirrored: the shadow predicts the same rows and the divergence
+// between the answers feeds the canary's comparison window.
+func (s *Server) runBatch(jobs []batch.Job) {
+	s.metrics.observeBatch(len(jobs))
+	// Group by instance, preserving first-seen order for determinism.
+	type subBatch struct {
+		inst *registry.Instance
+		xs   [][]float64
+		js   []batch.Job
 	}
-	xs := make([][]float64, 0, len(batch))
-	idx := make([]int, 0, len(batch))
-	for i, j := range batch {
-		// The handler validated against the snapshot it saw; a hot reload
-		// may have changed dimensionality since. Reject the stale rows
-		// instead of poisoning the whole batch.
-		if len(j.x) != ms.inputDim {
-			j.reply <- predictResult{err: fmt.Errorf("serve: model expects %d features, got %d (model reloaded mid-flight; retry)", ms.inputDim, len(j.x))}
+	var subs []*subBatch
+	byInst := make(map[*registry.Instance]*subBatch, 1)
+	for _, j := range jobs {
+		sb, ok := byInst[j.Inst]
+		if !ok {
+			sb = &subBatch{inst: j.Inst}
+			byInst[j.Inst] = sb
+			subs = append(subs, sb)
+		}
+		sb.xs = append(sb.xs, j.X)
+		sb.js = append(sb.js, j)
+	}
+	for _, sb := range subs {
+		outs, err := predictSafely(sb.inst, sb.xs)
+		if err != nil {
+			s.metrics.observeError("inference_panic")
+			for _, j := range sb.js {
+				j.Reply <- batch.Result{Err: err}
+			}
 			continue
 		}
-		xs = append(xs, j.x)
-		idx = append(idx, i)
-	}
-	if len(xs) == 0 {
-		return
-	}
-	outs, err := predictSafely(ms.pred, xs)
-	if err != nil {
-		s.metrics.observeError("inference_panic")
-		for _, i := range idx {
-			batch[i].reply <- predictResult{err: err}
+		for i, j := range sb.js {
+			j.Reply <- batch.Result{Y: outs[i]}
 		}
+		s.mirror(sb.inst, sb.xs, outs)
+	}
+}
+
+// mirror runs a staged shadow over rows its live sibling just served and
+// records prediction divergence. Replies have already been sent — shadow
+// inference never adds latency to the live path.
+func (s *Server) mirror(inst *registry.Instance, xs, liveOuts [][]float64) {
+	d := s.ctl.Deployment(inst.Tenant)
+	if d == nil || d.Live() != inst {
+		return // pinned-version traffic is not mirrored
+	}
+	sh := d.Shadow()
+	if sh == nil {
 		return
 	}
-	for k, i := range idx {
-		batch[i].reply <- predictResult{y: outs[k]}
+	shOuts, err := predictSafely(sh, xs)
+	if err != nil {
+		s.metrics.observeError("shadow_panic")
+		return
+	}
+	for i := range xs {
+		d.Mirror(liveOuts[i], shOuts[i])
+	}
+	st := d.Status()
+	if !math.IsNaN(st.Divergence) {
+		s.metrics.divergence.Observe(st.Divergence, inst.Tenant)
 	}
 }
 
 // predictSafely converts an inference panic into an error so one poisoned
 // batch cannot take the server down.
-func predictSafely(p batchPredictor, xs [][]float64) (outs [][]float64, err error) {
+func predictSafely(inst *registry.Instance, xs [][]float64) (outs [][]float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: inference panicked: %v", r)
 		}
 	}()
-	return p.PredictAll(xs), nil
+	return inst.Pred.PredictAll(xs), nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -326,21 +554,32 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		s.writeJSON(w, "readyz", http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-	case s.model.Load() == nil:
+	case !s.anyLive():
 		s.writeJSON(w, "readyz", http.StatusServiceUnavailable, map[string]string{"status": "no model loaded"})
 	default:
 		s.writeJSON(w, "readyz", http.StatusOK, map[string]string{"status": "ready"})
 	}
 }
 
+func (s *Server) anyLive() bool {
+	for _, tenant := range s.reg.Tenants() {
+		if d := s.ctl.Deployment(tenant); d != nil && d.Live() != nil {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var meta *modelMeta
-	if ms := s.model.Load(); ms != nil {
-		meta = &modelMeta{
-			path:       ms.path,
-			loadedUnix: ms.loadedAt.Unix(),
-			features:   ms.inputDim,
-			targets:    ms.outputDim,
+	if d := s.ctl.Deployment(s.router.DefaultTenant()); d != nil {
+		if live := d.Live(); live != nil {
+			meta = &modelMeta{
+				path:       live.Path,
+				loadedUnix: live.LoadedAt.Unix(),
+				features:   live.InputDim,
+				targets:    live.OutputDim,
+			}
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -353,11 +592,130 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, "reload", http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	ms := s.model.Load()
-	s.writeJSON(w, "reload", http.StatusOK, map[string]string{
-		"status":    "reloaded",
-		"path":      ms.path,
-		"loaded_at": ms.loadedAt.UTC().Format(time.RFC3339Nano),
+	s.writeJSON(w, "reload", http.StatusOK, map[string]any{
+		"status":  "reloaded",
+		"tenants": sortedTenants(s.tenantPaths),
+	})
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	st := FleetStatus{
+		Tenants:   []TenantStatus{},
+		WarmCount: s.reg.WarmCount(),
+		Groups:    s.batcher.GroupCount(),
+	}
+	for _, tenant := range s.reg.Tenants() {
+		if d := s.ctl.Deployment(tenant); d != nil {
+			st.Tenants = append(st.Tenants, tenantStatus(d.Status()))
+		}
+	}
+	s.writeJSON(w, "fleet", http.StatusOK, st)
+}
+
+// fleetRequest is the body of the /fleet mutation endpoints.
+type fleetRequest struct {
+	Model  string `json:"model"`
+	Path   string `json:"path,omitempty"`
+	Canary bool   `json:"canary,omitempty"`
+}
+
+func (s *Server) decodeFleetRequest(w http.ResponseWriter, r *http.Request, endpoint string) (fleetRequest, bool) {
+	var req fleetRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.observeError("bad_json")
+		s.writeJSON(w, endpoint, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return req, false
+	}
+	if req.Model == "" {
+		s.metrics.observeError("bad_request")
+		s.writeJSON(w, endpoint, http.StatusBadRequest, errorResponse{Error: `"model" is required`})
+		return req, false
+	}
+	return req, true
+}
+
+func (s *Server) handleFleetDeploy(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeFleetRequest(w, r, "fleet_deploy")
+	if !ok {
+		return
+	}
+	if req.Path == "" {
+		s.metrics.observeError("bad_request")
+		s.writeJSON(w, "fleet_deploy", http.StatusBadRequest, errorResponse{Error: `"path" is required`})
+		return
+	}
+	inst, err := s.ctl.Deploy(req.Model, req.Path, req.Canary)
+	if err != nil {
+		s.metrics.observeError("deploy_failed")
+		s.writeJSON(w, "fleet_deploy", http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	// The deployed path becomes the tenant's reload target.
+	s.tenantPaths[req.Model] = req.Path
+	s.writeJSON(w, "fleet_deploy", http.StatusOK, map[string]any{
+		"status": "deployed",
+		"canary": req.Canary,
+		"model":  modelInfo(inst),
+	})
+}
+
+func (s *Server) handleFleetAction(endpoint string, action func(string) (*registry.Instance, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, ok := s.decodeFleetRequest(w, r, "fleet_"+endpoint)
+		if !ok {
+			return
+		}
+		inst, err := action(req.Model)
+		if err != nil {
+			s.metrics.observeError(endpoint + "_failed")
+			s.writeJSON(w, "fleet_"+endpoint, http.StatusConflict, errorResponse{Error: err.Error()})
+			return
+		}
+		status := endpoint + "d"
+		if endpoint == "rollback" {
+			status = "rolled back"
+		}
+		resp := map[string]any{"status": status}
+		if inst != nil {
+			resp["model"] = modelInfo(inst)
+		}
+		s.writeJSON(w, "fleet_"+endpoint, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.observeError("bad_json")
+		s.writeJSON(w, "observe", http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	tenant := req.Model
+	if tenant == "" {
+		tenant = s.router.DefaultTenant()
+	}
+	dec2, err := s.ctl.Observe(tenant, req.X, req.Actual)
+	if err != nil {
+		s.metrics.observeError("bad_observation")
+		s.writeJSON(w, "observe", http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if !math.IsNaN(dec2.LiveHMRE) {
+		s.metrics.rollingHMRE.Set(dec2.LiveHMRE, tenant, "live")
+	}
+	if !math.IsNaN(dec2.ShadowHMRE) {
+		s.metrics.rollingHMRE.Set(dec2.ShadowHMRE, tenant, "shadow")
+	}
+	s.writeJSON(w, "observe", http.StatusOK, ObserveResponse{
+		Tenant:     tenant,
+		LiveHMRE:   nanSafe(dec2.LiveHMRE),
+		ShadowHMRE: nanSafe(dec2.ShadowHMRE),
+		Promoted:   dec2.Promoted,
+		RolledBack: dec2.RolledBack,
 	})
 }
 
@@ -365,19 +723,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
+
+	tenant := "" // resolved below; failures before resolution count globally only
 	respond := func(status int, v any) {
-		s.writeJSONTimed(w, "predict", status, v, time.Since(start))
+		elapsed := time.Since(start)
+		s.writeJSONTimed(w, "predict", status, v, elapsed)
+		if tenant != "" {
+			s.metrics.observeTenantRequest(tenant, status, elapsed.Seconds())
+		}
 	}
 
 	if s.draining.Load() {
 		s.metrics.observeError("draining")
 		respond(http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
-		return
-	}
-	ms := s.model.Load()
-	if ms == nil {
-		s.metrics.observeError("no_model")
-		respond(http.StatusServiceUnavailable, errorResponse{Error: "no model loaded"})
 		return
 	}
 
@@ -389,29 +747,74 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		respond(http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
 		return
 	}
+
+	inst, _, err := s.router.Resolve(req.Model)
+	if err != nil {
+		status := http.StatusNotFound
+		reason := "unknown_model"
+		switch {
+		case errors.Is(err, router.ErrBadRef):
+			status, reason = http.StatusBadRequest, "bad_request"
+		case errors.Is(err, router.ErrNoLive):
+			status, reason = http.StatusServiceUnavailable, "no_model"
+		case errors.Is(err, router.ErrUnknownModel) && len(s.reg.Tenants()) == 0:
+			// An empty fleet is an operational state, not a client mistake.
+			status, reason = http.StatusServiceUnavailable, "no_model"
+		}
+		s.metrics.observeError(reason)
+		respond(status, errorResponse{Error: err.Error()})
+		return
+	}
+	tenant = inst.Tenant
+
+	// Admission control, in-flight half: each tenant gets a budget of
+	// concurrently handled requests; beyond it we shed rather than queue.
+	if s.cfg.MaxInflight > 0 && s.metrics.tenantInflight.Value(tenant) >= float64(s.cfg.MaxInflight) {
+		s.metrics.observeShed(tenant, "inflight_budget")
+		respond(http.StatusTooManyRequests, errorResponse{Error: fmt.Sprintf("tenant %q is over its in-flight budget (%d)", tenant, s.cfg.MaxInflight)})
+		return
+	}
+	s.metrics.tenantInflight.Add(1, tenant)
+	defer s.metrics.tenantInflight.Add(-1, tenant)
+
 	rows, err := requestRows(req)
 	if err != nil {
 		s.metrics.observeError("bad_request")
 		respond(http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	warnings, err := validateRows(ms, rows)
+	warnings, err := validateRows(inst, rows)
 	if err != nil {
 		s.metrics.observeError("bad_input")
 		respond(http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	// Admission control, latency half: the request must finish inside its
+	// latency budget (when configured) or be shed.
+	timeout := s.cfg.RequestTimeout
+	budgeted := s.cfg.LatencyBudget > 0 && s.cfg.LatencyBudget < timeout
+	if budgeted {
+		timeout = s.cfg.LatencyBudget
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	preds, err := s.co.submitAll(ctx, rows)
+	preds, err := s.batcher.Submit(ctx, inst, rows)
 	switch {
 	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded) && budgeted:
+		s.metrics.observeShed(tenant, "latency_budget")
+		respond(http.StatusTooManyRequests, errorResponse{Error: fmt.Sprintf("prediction exceeded the %s latency budget", s.cfg.LatencyBudget)})
+		return
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.observeError("timeout")
 		respond(http.StatusGatewayTimeout, errorResponse{Error: "prediction timed out"})
 		return
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, batch.ErrOverloaded):
+		s.metrics.observeShed(tenant, "queue_full")
+		respond(http.StatusTooManyRequests, errorResponse{Error: "prediction queue is full"})
+		return
+	case errors.Is(err, batch.ErrDraining):
 		s.metrics.observeError("draining")
 		respond(http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
 		return
@@ -423,14 +826,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	respond(http.StatusOK, PredictResponse{
 		Predictions: preds,
-		TargetNames: ms.targetNames,
+		TargetNames: inst.TargetNames,
 		Warnings:    warnings,
-		Model: ModelInfo{
-			Path:         ms.path,
-			LoadedAt:     ms.loadedAt.UTC().Format(time.RFC3339Nano),
-			FeatureNames: ms.featureNames,
-			TargetNames:  ms.targetNames,
-		},
+		Model:       modelInfo(inst),
 	})
 }
 
@@ -453,19 +851,19 @@ const maxWarnings = 16
 // validateRows checks dimensionality and finiteness (hard errors) and
 // collects training-envelope warnings (soft: the model will extrapolate,
 // which the paper's methodology does not vouch for).
-func validateRows(ms *modelState, rows [][]float64) ([]string, error) {
+func validateRows(inst *registry.Instance, rows [][]float64) ([]string, error) {
 	var warnings []string
 	for i, x := range rows {
-		if len(x) != ms.inputDim {
-			return nil, fmt.Errorf("row %d has %d features, model expects %d (%v)", i, len(x), ms.inputDim, ms.featureNames)
+		if len(x) != inst.InputDim {
+			return nil, fmt.Errorf("row %d has %d features, model %s expects %d (%v)", i, len(x), inst.Ref(), inst.InputDim, inst.FeatureNames)
 		}
 		for j, v := range x {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("row %d feature %q: non-finite value", i, ms.featureNames[j])
+				return nil, fmt.Errorf("row %d feature %q: non-finite value", i, inst.FeatureNames[j])
 			}
-			if ms.featureMin != nil && (v < ms.featureMin[j] || v > ms.featureMax[j]) && len(warnings) < maxWarnings {
+			if inst.FeatureMin != nil && (v < inst.FeatureMin[j] || v > inst.FeatureMax[j]) && len(warnings) < maxWarnings {
 				warnings = append(warnings, fmt.Sprintf("row %d: %s=%g outside training envelope [%g, %g]",
-					i, ms.featureNames[j], v, ms.featureMin[j], ms.featureMax[j]))
+					i, inst.FeatureNames[j], v, inst.FeatureMin[j], inst.FeatureMax[j]))
 			}
 		}
 	}

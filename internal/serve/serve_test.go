@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nnwc/internal/core"
+	"nnwc/internal/serve/registry"
 	"nnwc/internal/train"
 	"nnwc/internal/workload"
 )
@@ -44,7 +45,7 @@ func trainTestModel(t *testing.T, seed uint64) *core.NNModel {
 // writeTestModel persists a freshly trained model and returns its path.
 func writeTestModel(t *testing.T, dir string, seed uint64) string {
 	t.Helper()
-	path := filepath.Join(dir, "model.json")
+	path := filepath.Join(dir, fmt.Sprintf("model-%d.json", seed))
 	if err := trainTestModel(t, seed).SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
@@ -67,22 +68,48 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postPredict(t *testing.T, url string, body any) (*http.Response, PredictResponse, string) {
+func postJSON(t *testing.T, url string, body any) (*http.Response, string) {
 	t.Helper()
-	raw, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
+	var rd *bytes.Reader
+	if raw, ok := body.(string); ok {
+		rd = bytes.NewReader([]byte(raw))
+	} else {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
 	}
-	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(raw))
+	resp, err := http.Post(url, "application/json", rd)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	var buf bytes.Buffer
 	buf.ReadFrom(resp.Body)
+	return resp, buf.String()
+}
+
+func postPredict(t *testing.T, url string, body any) (*http.Response, PredictResponse, string) {
+	t.Helper()
+	resp, raw := postJSON(t, url+"/predict", body)
 	var pr PredictResponse
-	json.Unmarshal(buf.Bytes(), &pr)
-	return resp, pr, buf.String()
+	json.Unmarshal([]byte(raw), &pr)
+	return resp, pr, raw
+}
+
+func getFleet(t *testing.T, url string) FleetStatus {
+	t.Helper()
+	resp, err := http.Get(url + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding /fleet: %v", err)
+	}
+	return st
 }
 
 // TestServeEndToEnd trains, persists, serves, and checks the HTTP answer
@@ -116,6 +143,9 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if pr.Model.Path != path {
 		t.Fatalf("model path %q", pr.Model.Path)
+	}
+	if pr.Model.Ref != "default@v1" || pr.Model.SHA256 == "" || pr.Model.Shape != "2-6-2" {
+		t.Fatalf("model identity %+v, want default@v1 with sha and shape 2-6-2", pr.Model)
 	}
 	_ = s
 }
@@ -170,14 +200,25 @@ func TestServeValidation(t *testing.T) {
 			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
 		}
 	}
+	// An unknown model reference is a 404, a malformed one a 400.
+	resp, _, _ := postPredict(t, ts.URL, PredictRequest{Model: "nosuch", X: []float64{1, 2}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown model: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/predict", `{"model":"default@vx","x":[1,2]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed ref: status %d, want 400", resp.StatusCode)
+	}
 
 	// JSON cannot carry NaN literally; exercise the finiteness check
 	// through the validation helper directly.
-	ms := &modelState{inputDim: 2, featureNames: []string{"a", "b"}}
-	if _, err := validateRows(ms, [][]float64{{1, math.NaN()}}); err == nil {
+	inst := &registry.Instance{Artifact: registry.Artifact{
+		Tenant: "t", Version: 1, InputDim: 2, FeatureNames: []string{"a", "b"},
+	}}
+	if _, err := validateRows(inst, [][]float64{{1, math.NaN()}}); err == nil {
 		t.Fatal("NaN input accepted")
 	}
-	if _, err := validateRows(ms, [][]float64{{math.Inf(1), 0}}); err == nil {
+	if _, err := validateRows(inst, [][]float64{{math.Inf(1), 0}}); err == nil {
 		t.Fatal("Inf input accepted")
 	}
 }
@@ -223,15 +264,171 @@ func TestCoalescerBatchesConcurrentRequests(t *testing.T) {
 	}
 }
 
-// slowPredictor delays inference so shutdown has something to drain.
+// TestCrossTenantCoalescing: two tenants whose networks share a topology
+// land in ONE batch domain and fill batches together; per-model batching
+// splits them into separate domains.
+func TestCrossTenantCoalescing(t *testing.T) {
+	dir := t.TempDir()
+	models := map[string]string{
+		"web": writeTestModel(t, dir, 10),
+		"db":  writeTestModel(t, dir, 11),
+	}
+
+	s, ts := newTestServer(t, Config{
+		Models:   models,
+		MaxBatch: 32,
+		MaxWait:  100 * time.Millisecond,
+		Workers:  1,
+	})
+
+	const perTenant = 8
+	var wg sync.WaitGroup
+	errs := make([]error, 2*perTenant)
+	for i := 0; i < perTenant; i++ {
+		for k, tenant := range []string{"web", "db"} {
+			wg.Add(1)
+			go func(slot int, tenant string) {
+				defer wg.Done()
+				resp, pr, raw := postPredict(t, ts.URL, PredictRequest{Model: tenant, X: []float64{1, 1}})
+				if resp.StatusCode != http.StatusOK {
+					errs[slot] = fmt.Errorf("%s: status %d: %s", tenant, resp.StatusCode, raw)
+					return
+				}
+				if !strings.HasPrefix(pr.Model.Ref, tenant+"@") {
+					errs[slot] = fmt.Errorf("asked %s, answered by %s", tenant, pr.Model.Ref)
+				}
+			}(i*2+k, tenant)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if groups := s.batcher.GroupCount(); groups != 1 {
+		t.Fatalf("shape-shared tenants created %d batch groups, want 1", groups)
+	}
+	batches, rows := s.metrics.batchStats()
+	if rows != 2*perTenant {
+		t.Fatalf("rows inferred = %d, want %d", rows, 2*perTenant)
+	}
+	if batches >= 2*perTenant {
+		t.Fatalf("batches = %d for %d requests — no cross-tenant coalescing", batches, 2*perTenant)
+	}
+
+	// Per-model mode: same fleet, separate domains.
+	s2, ts2 := newTestServer(t, Config{Models: models, PerModelBatching: true})
+	for _, tenant := range []string{"web", "db"} {
+		resp, _, raw := postPredict(t, ts2.URL, PredictRequest{Model: tenant, X: []float64{1, 1}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tenant, resp.StatusCode, raw)
+		}
+	}
+	if groups := s2.batcher.GroupCount(); groups != 2 {
+		t.Fatalf("per-model batching created %d groups, want 2", groups)
+	}
+}
+
+// TestFleetLifecycle exercises the canary flow over HTTP: deploy a canary,
+// watch /fleet report it, promote it, roll it back, and pin old versions.
+func TestFleetLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	pathA := writeTestModel(t, dir, 20)
+	pathB := writeTestModel(t, dir, 21)
+	_, ts := newTestServer(t, Config{
+		Models:  map[string]string{"web": pathA},
+		MaxWait: time.Millisecond,
+	})
+
+	// Stage B as a canary.
+	resp, raw := postJSON(t, ts.URL+"/fleet/deploy", fleetRequest{Model: "web", Path: pathB, Canary: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("canary deploy: status %d: %s", resp.StatusCode, raw)
+	}
+	st := getFleet(t, ts.URL)
+	if len(st.Tenants) != 1 || st.Tenants[0].LiveVersion != 1 || st.Tenants[0].ShadowVer != 2 {
+		t.Fatalf("fleet after canary = %+v, want live v1 shadow v2", st.Tenants)
+	}
+
+	// Live traffic is mirrored to the shadow: divergence fills in.
+	for i := 0; i < 4; i++ {
+		resp, pr, raw := postPredict(t, ts.URL, PredictRequest{Model: "web", X: []float64{float64(i), 1}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict: status %d: %s", resp.StatusCode, raw)
+		}
+		if pr.Model.Version != 1 {
+			t.Fatalf("canary served live traffic: %+v", pr.Model)
+		}
+	}
+	st = getFleet(t, ts.URL)
+	if st.Tenants[0].Divergence == nil {
+		t.Fatal("no shadow divergence recorded from mirrored traffic")
+	}
+
+	// Observations feed rolling HMRE for live and shadow.
+	resp, raw = postJSON(t, ts.URL+"/observe", ObserveRequest{Model: "web", X: []float64{1, 1}, Actual: []float64{10, 8}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: status %d: %s", resp.StatusCode, raw)
+	}
+	var or ObserveResponse
+	json.Unmarshal([]byte(raw), &or)
+	if or.LiveHMRE == nil || or.ShadowHMRE == nil {
+		t.Fatalf("observe response missing HMRE: %s", raw)
+	}
+
+	// Promote: v2 goes live, v1 stays pinnable.
+	resp, raw = postJSON(t, ts.URL+"/fleet/promote", fleetRequest{Model: "web"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d: %s", resp.StatusCode, raw)
+	}
+	st = getFleet(t, ts.URL)
+	if st.Tenants[0].LiveVersion != 2 || st.Tenants[0].ShadowVer != 0 || st.Tenants[0].Promotions != 1 {
+		t.Fatalf("fleet after promote = %+v", st.Tenants[0])
+	}
+	resp, pr, raw := postPredict(t, ts.URL, PredictRequest{Model: "web@v1", X: []float64{1, 1}})
+	if resp.StatusCode != http.StatusOK || pr.Model.Ref != "web@v1" {
+		t.Fatalf("pinned v1 after promote: status %d model %q (%s)", resp.StatusCode, pr.Model.Ref, raw)
+	}
+
+	// Rollback: live reverts to v1.
+	resp, raw = postJSON(t, ts.URL+"/fleet/rollback", fleetRequest{Model: "web"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rollback: status %d: %s", resp.StatusCode, raw)
+	}
+	st = getFleet(t, ts.URL)
+	if st.Tenants[0].LiveVersion != 1 || st.Tenants[0].Rollbacks != 1 {
+		t.Fatalf("fleet after rollback = %+v", st.Tenants[0])
+	}
+	// A second rollback has nowhere to go.
+	resp, _ = postJSON(t, ts.URL+"/fleet/rollback", fleetRequest{Model: "web"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double rollback: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// slowPredictor delays inference so shutdown and admission control have
+// something to race against.
 type slowPredictor struct {
-	inner batchPredictor
+	inner core.BatchPredictor
 	delay time.Duration
 }
 
 func (p *slowPredictor) PredictAll(xs [][]float64) [][]float64 {
 	time.Sleep(p.delay)
 	return p.inner.PredictAll(xs)
+}
+
+func (p *slowPredictor) Predict(x []float64) []float64 {
+	time.Sleep(p.delay)
+	return p.inner.Predict(x)
+}
+
+// slowDownLive wraps a tenant's live predictor before any traffic flows.
+func slowDownLive(s *Server, tenant string, delay time.Duration) {
+	live := s.ctl.Deployment(tenant).Live()
+	live.Pred = &slowPredictor{inner: live.Pred, delay: delay}
 }
 
 // TestGracefulShutdownDrainsInFlight: requests in flight when Shutdown is
@@ -244,10 +441,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Slow the model down so requests are genuinely in flight mid-drain.
-	ms := s.model.Load()
-	slow := *ms
-	slow.pred = &slowPredictor{inner: ms.pred, delay: 80 * time.Millisecond}
-	s.model.Store(&slow)
+	slowDownLive(s, DefaultSingleTenant, 80*time.Millisecond)
 
 	if err := s.Start(); err != nil {
 		t.Fatal(err)
@@ -292,6 +486,53 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	// The listener is closed now: new requests must fail at the wire.
 	if _, err := http.Post(url+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`)); err == nil {
 		t.Fatal("request after shutdown succeeded")
+	}
+}
+
+// TestInflightBudgetSheds: with a per-tenant in-flight budget of 1 and a
+// slow model, a burst of concurrent requests is partially shed with 429s —
+// and everything is either served or shed, never errored.
+func TestInflightBudgetSheds(t *testing.T) {
+	path := writeTestModel(t, t.TempDir(), 8)
+	s, ts := newTestServer(t, Config{
+		ModelPath:   path,
+		MaxInflight: 1,
+		MaxWait:     time.Millisecond,
+	})
+	slowDownLive(s, DefaultSingleTenant, 50*time.Millisecond)
+
+	const n = 8
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _, _ := postPredict(t, ts.URL, PredictRequest{X: []float64{1, 1}})
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("request %d: status %d, want 200 or 429", i, code)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("every request was shed — budget admitted nothing")
+	}
+	if shed == 0 {
+		t.Fatalf("no request was shed at budget 1 with %d concurrent", n)
+	}
+	if got := s.metrics.tenantShed.Value(DefaultSingleTenant, "inflight_budget"); got != uint64(shed) {
+		t.Fatalf("shed counter = %v, want %d", got, shed)
 	}
 }
 
@@ -369,6 +610,12 @@ func TestHotReloadAtomicity(t *testing.T) {
 	if gotReloads != reloads {
 		t.Fatalf("reload counter = %d, want %d", gotReloads, reloads)
 	}
+	// Content-addressing: 20 reloads over 2 distinct artifacts (plus the
+	// initial, which shares modelA's bytes) registered exactly 2 versions.
+	arts := s.reg.Artifacts()
+	if len(arts) != 2 {
+		t.Fatalf("registry holds %d versions after alternating reloads, want 2", len(arts))
+	}
 }
 
 // TestMetricsSchema pins the names and shape of the /metrics exposition.
@@ -409,6 +656,14 @@ func TestMetricsSchema(t *testing.T) {
 		`nnwc_batch_size_sum 3`,
 		`nnwc_model_reloads_total 0`,
 		`nnwc_inflight_requests 0`,
+		`nnwc_tenant_requests_total{model="default",code="200"} 3`,
+		`nnwc_tenant_requests_total{model="default",code="400"} 1`,
+		`nnwc_tenant_latency_seconds{model="default",quantile="0.5"}`,
+		`nnwc_tenant_latency_seconds_count{model="default"} 3`,
+		`nnwc_tenant_inflight_requests{model="default"} 0`,
+		`nnwc_fleet_events_total{model="default",action="deploy"} 1`,
+		`nnwc_registry_warm_models 1`,
+		`nnwc_batch_groups 1`,
 		`nnwc_model_loaded_timestamp_seconds`,
 		`nnwc_model_info{path=`,
 	}
@@ -456,40 +711,5 @@ func TestHealthAndReadiness(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
-	}
-}
-
-// TestCoalescerGather unit-tests the gather logic: pre-queued jobs join the
-// batch immediately and maxBatch is honored.
-func TestCoalescerGather(t *testing.T) {
-	var got [][]int
-	c := newCoalescer(4, 50*time.Millisecond, 64, func(batch []predictJob) {
-		row := make([]int, len(batch))
-		for i := range batch {
-			row[i] = int(batch[i].x[0])
-		}
-		got = append(got, row)
-		for _, j := range batch {
-			j.reply <- predictResult{y: []float64{0}}
-		}
-	})
-	// Queue 9 jobs before starting a single worker: they must drain as
-	// batches of 4, 4, 1 — greedy gather, capped at maxBatch.
-	jobs := make([]predictJob, 9)
-	for i := range jobs {
-		jobs[i] = predictJob{x: []float64{float64(i)}, reply: make(chan predictResult, 1)}
-		c.jobs <- jobs[i]
-	}
-	c.start(1)
-	for i := range jobs {
-		select {
-		case <-jobs[i].reply:
-		case <-time.After(5 * time.Second):
-			t.Fatalf("job %d never answered", i)
-		}
-	}
-	c.shutdown()
-	if len(got) != 3 || len(got[0]) != 4 || len(got[1]) != 4 || len(got[2]) != 1 {
-		t.Fatalf("batch shapes %v, want [4 4 1]", got)
 	}
 }
