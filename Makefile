@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench-smoke bench bench-json serve-bench bench-obs ci clean
+.PHONY: all build vet lint test race bench-smoke bench bench-json bench-kernels serve-bench bench-obs ci clean
 
 all: ci
 
@@ -36,6 +36,13 @@ bench:
 # workers=NumCPU, with speedups, written to BENCH_experiments.json.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_experiments.json
+
+# Machine-readable benchmark of the compute kernels (see DESIGN.md §13):
+# tiled matmul GFLOP/s by shape in both precisions, batched forward and
+# backprop ns-per-sample, and the f32-vs-f64 inference speedup, written to
+# BENCH_kernels.json.
+bench-kernels:
+	$(GO) run ./cmd/kernelbench -out BENCH_kernels.json
 
 # Machine-readable benchmark of the prediction server (see DESIGN.md §8):
 # requests/sec and p50/p99 latency, single-request vs coalesced inference,

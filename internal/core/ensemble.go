@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"nnwc/internal/mat"
 	"nnwc/internal/sched"
 	"nnwc/internal/stats"
 	"nnwc/internal/workload"
@@ -97,23 +98,31 @@ func (e *Ensemble) PredictAll(xs [][]float64) [][]float64 {
 	if len(xs) == 0 {
 		return nil
 	}
-	m := e.OutputDim()
-	out := make([][]float64, len(xs))
-	for i := range out {
-		out[i] = make([]float64, m)
+	w := predictPool.Get()
+	defer predictPool.Put(w)
+	w.in.CopyRows(xs)
+	return rowsCopy(e.PredictMatrix(&w.in, w))
+}
+
+// PredictMatrix returns the member-mean prediction for every row of X
+// without allocating: members evaluate into w's lazily created sub
+// workspace while the mean accumulates in w's output matrix, in member
+// order, then divides once — the same floating-point sequence as Predict,
+// so the two are bit-identical row for row. The returned matrix is w-owned
+// scratch.
+//nnwc:hotpath
+func (e *Ensemble) PredictMatrix(X *mat.Matrix, w *PredictWorkspace) *mat.Matrix {
+	if w.sub == nil {
+		w.sub = newPredictWorkspace()
 	}
+	out := w.out.Reshape(X.Rows, e.OutputDim())
+	out.Zero()
 	for _, member := range e.Members {
-		for i, row := range member.PredictAll(xs) {
-			for j, v := range row {
-				out[i][j] += v
-			}
-		}
+		mat.AddScaledInto(out, 1, member.PredictMatrix(X, w.sub))
 	}
 	n := float64(len(e.Members))
-	for i := range out {
-		for j := range out[i] {
-			out[i][j] /= n
-		}
+	for k := range out.Data {
+		out.Data[k] /= n
 	}
 	return out
 }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"nnwc/internal/mat"
+	"nnwc/internal/nn"
+	"nnwc/internal/preprocess"
+)
+
+// F32Model serves an NNModel's predictions through the float32 forward
+// kernels: inputs are standardized in float64, rounded once to float32, run
+// through the quantized network, and the outputs widened back to float64
+// for inverse scaling. The quantized parameters come from the artifact's
+// params_f32 vector when present (persist-time quantization) and from a
+// one-time QuantizeParams otherwise.
+//
+// The f64/f32 prediction divergence is pinned by TestF32PredictionParity;
+// see DESIGN.md §13 for the tolerance budget.
+type F32Model struct {
+	src *NNModel
+	net *nn.NetworkF32
+}
+
+// F32 returns the float32 inference twin of m.
+func (m *NNModel) F32() (*F32Model, error) {
+	net, err := nn.NetworkF32From(m.Net, m.ParamsF32)
+	if err != nil {
+		return nil, err
+	}
+	return &F32Model{src: m, net: net}, nil
+}
+
+// Source returns the float64 model the twin was quantized from.
+func (m *F32Model) Source() *NNModel { return m.src }
+
+// InputDim returns the configuration dimensionality n.
+func (m *F32Model) InputDim() int { return m.net.InputDim() }
+
+// OutputDim returns the indicator dimensionality m.
+func (m *F32Model) OutputDim() int { return m.net.OutputDim() }
+
+// Predict maps one configuration to predicted indicators in native units
+// through the f32 kernels.
+func (m *F32Model) Predict(x []float64) []float64 {
+	return m.PredictAll([][]float64{x})[0]
+}
+
+// PredictAll maps Predict over rows through one batched f32 forward pass;
+// per-row results are bit-identical to calling Predict on each row.
+func (m *F32Model) PredictAll(xs [][]float64) [][]float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	w := predictPool.Get()
+	defer predictPool.Put(w)
+	w.in.CopyRows(xs)
+	return rowsCopy(m.PredictMatrix(&w.in, w))
+}
+
+// PredictMatrix evaluates every row of X through the quantized f32 forward
+// kernels without allocating: inputs standardize in float64 into w.xstd,
+// round once into w.x32, run the f32 batch, and the outputs widen back for
+// inverse scaling. Row for row the values are bit-identical to Predict.
+// The returned matrix is w-owned scratch.
+//nnwc:hotpath
+func (m *F32Model) PredictMatrix(X *mat.Matrix, w *PredictWorkspace) *mat.Matrix {
+	w.xstd.Reshape(X.Rows, X.Cols)
+	for i := 0; i < X.Rows; i++ {
+		preprocess.TransformInto(m.src.XScaler, w.xstd.Row(i), X.Row(i))
+	}
+	w.x32.Reshape(X.Rows, X.Cols)
+	for i, v := range w.xstd.Data {
+		w.x32.Data[i] = float32(v)
+	}
+	pred := m.net.ForwardBatch(&w.x32, &w.ws32)
+	w.out.Reshape(X.Rows, m.net.OutputDim())
+	for i := 0; i < X.Rows; i++ {
+		drow := w.out.Row(i)
+		prow := pred.Row(i)
+		for j, v := range prow {
+			drow[j] = float64(v)
+		}
+		preprocess.InverseInto(m.src.YScaler, drow, drow)
+	}
+	return &w.out
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+// f32PredTol bounds the per-prediction relative divergence between the f64
+// network and its float32 quantization. Quantizing weights perturbs each
+// parameter by at most 2⁻²⁴ relative (~6e-8); through the small MLPs here
+// that amplifies a few orders of magnitude at worst, staying far below the
+// model's own ~1e-2 HMRE. The budget's rationale lives in DESIGN.md §13.
+const f32PredTol = 1e-4
+
+// f32HMRETol bounds the divergence of the paper's aggregate HMRE metric
+// between the two precisions (aggregation averages out the per-prediction
+// quantization noise).
+const f32HMRETol = 1e-5
+
+// TestF32PredictionParity pins the f64-vs-f32 accuracy budget: predictions
+// and the HMRE metric from the quantized path must track the float64 path
+// within the documented tolerances.
+func TestF32PredictionParity(t *testing.T) {
+	ds := syntheticDataset(150, 7)
+	m, err := Fit(ds, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32m, err := m.F32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f32m.InputDim() != m.InputDim() || f32m.OutputDim() != m.OutputDim() {
+		t.Fatalf("f32 twin dims %d->%d, model %d->%d", f32m.InputDim(), f32m.OutputDim(), m.InputDim(), m.OutputDim())
+	}
+
+	xs := ds.Xs()
+	p64 := m.PredictAll(xs)
+	p32 := f32m.PredictAll(xs)
+	for i := range xs {
+		for j := range p64[i] {
+			rel := math.Abs(p32[i][j]-p64[i][j]) / (1 + math.Abs(p64[i][j]))
+			if rel > f32PredTol {
+				t.Fatalf("row %d output %d: f32 %v vs f64 %v (rel %v > %v)",
+					i, j, p32[i][j], p64[i][j], rel, f32PredTol)
+			}
+		}
+	}
+
+	e64, err := Evaluate(m, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32, err := Evaluate(f32m, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(e32.MeanHMRE() - e64.MeanHMRE()); !(d <= f32HMRETol) {
+		t.Fatalf("HMRE diverged by %v (> %v): f64 %v, f32 %v", d, f32HMRETol, e64.MeanHMRE(), e32.MeanHMRE())
+	}
+
+	// The per-row and batched f32 paths share one kernel: bit-identical.
+	single := f32m.Predict(xs[3])
+	for j := range single {
+		if single[j] != p32[3][j] {
+			t.Fatalf("f32 Predict/PredictAll disagree at output %d: %v vs %v", j, single[j], p32[3][j])
+		}
+	}
+}
+
+// TestQuantizedArtifactRoundTrip pins persist-time quantization: Save writes
+// a params_f32 vector that survives the JSON round trip bit-exactly, and a
+// reloaded artifact serves the same f32 predictions as the live model.
+func TestQuantizedArtifactRoundTrip(t *testing.T) {
+	ds := syntheticDataset(80, 11)
+	m, err := Fit(ds, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ParamsF32 []float32 `json:"params_f32"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	want := m.Net.QuantizeParams()
+	if len(doc.ParamsF32) != len(want) {
+		t.Fatalf("artifact carries %d quantized params, want %d", len(doc.ParamsF32), len(want))
+	}
+	for i := range want {
+		if doc.ParamsF32[i] != want[i] {
+			t.Fatalf("params_f32[%d] = %v, want %v (JSON round trip must be exact)", i, doc.ParamsF32[i], want[i])
+		}
+	}
+
+	back, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ParamsF32 == nil {
+		t.Fatal("reloaded model lost its quantized parameters")
+	}
+	for i := range want {
+		if back.ParamsF32[i] != want[i] {
+			t.Fatalf("reloaded params_f32[%d] = %v, want %v", i, back.ParamsF32[i], want[i])
+		}
+	}
+
+	// Re-saving carries the stored vector verbatim (no re-quantization).
+	var buf2 bytes.Buffer
+	if err := back.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var doc2 struct {
+		ParamsF32 []float32 `json:"params_f32"`
+	}
+	if err := json.Unmarshal(buf2.Bytes(), &doc2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if doc2.ParamsF32[i] != want[i] {
+			t.Fatalf("re-saved params_f32[%d] drifted: %v vs %v", i, doc2.ParamsF32[i], want[i])
+		}
+	}
+
+	f32Live, err := m.F32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32Back, err := back.F32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := ds.Xs()[:10]
+	pLive := f32Live.PredictAll(xs)
+	pBack := f32Back.PredictAll(xs)
+	for i := range xs {
+		for j := range pLive[i] {
+			if d := math.Abs(pBack[i][j] - pLive[i][j]); d > 1e-9*(1+math.Abs(pLive[i][j])) {
+				t.Fatalf("reloaded f32 prediction %d/%d drifted: %v vs %v", i, j, pBack[i][j], pLive[i][j])
+			}
+		}
+	}
+}
+
+// TestF32RejectsMismatchedVector pins the load-time validation of a
+// truncated or foreign params_f32 vector.
+func TestF32RejectsMismatchedVector(t *testing.T) {
+	ds := syntheticDataset(40, 13)
+	m, err := Fit(ds, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["params_f32"] = json.RawMessage(`[1.5, 2.5]`)
+	mangled, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bytes.NewReader(mangled)); err == nil {
+		t.Fatal("LoadModel accepted a params_f32 vector of the wrong length")
+	}
+}
+
+// TestF32GoldenModel loads the committed quantized-artifact fixture and
+// checks the float32 inference path still reproduces its committed
+// predictions — pinning both the params_f32 format and the f32 kernel's
+// accumulation order.
+func TestF32GoldenModel(t *testing.T) {
+	f, err := os.Open("testdata/golden_model_f32.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	model, err := LoadModel(f)
+	if err != nil {
+		t.Fatalf("f32 golden model no longer loads: %v", err)
+	}
+	if model.ParamsF32 == nil {
+		t.Fatal("f32 golden fixture carries no params_f32 vector")
+	}
+	f32m, err := model.F32()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile("testdata/golden_model_f32_predictions.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Probes      [][]float64 `json:"probes"`
+		Predictions [][]float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Probes) == 0 {
+		t.Fatal("f32 golden fixture has no probes")
+	}
+	got := f32m.PredictAll(doc.Probes)
+	for i := range doc.Probes {
+		for j, want := range doc.Predictions[i] {
+			if math.Abs(got[i][j]-want) > 1e-10*(1+math.Abs(want)) {
+				t.Fatalf("probe %d output %d: got %v, golden %v", i, j, got[i][j], want)
+			}
+		}
+	}
+}
+
+// TestGenerateF32GoldenModel regenerates the quantized-artifact fixture.
+// It only runs when NNWC_GEN_GOLDEN=1.
+func TestGenerateF32GoldenModel(t *testing.T) {
+	if os.Getenv("NNWC_GEN_GOLDEN") != "1" {
+		t.Skip("set NNWC_GEN_GOLDEN=1 to regenerate golden files")
+	}
+	ds := syntheticDataset(80, 20260808)
+	model, err := Fit(ds, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/golden_model_f32.json", buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f32m, err := model.F32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := [][]float64{
+		{0, 0},
+		{1.5, -1.5},
+		{-2, 2},
+		{0.25, 0.75},
+	}
+	doc := map[string]interface{}{"probes": probes, "predictions": f32m.PredictAll(probes)}
+	out, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/golden_model_f32_predictions.json", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

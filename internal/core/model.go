@@ -43,6 +43,20 @@ type BatchPredictor interface {
 	PredictAll(xs [][]float64) [][]float64
 }
 
+// MatrixPredictor is a BatchPredictor that can evaluate a whole input
+// matrix into workspace-owned output without allocating — the entry point
+// the experiment plane (fold evaluation, surface probing, ensemble
+// prediction) rides so steady-state sweeps stay allocation-free. NNModel,
+// F32Model and Ensemble all implement it.
+type MatrixPredictor interface {
+	BatchPredictor
+	// PredictMatrix evaluates every row of X (one configuration per row)
+	// and returns the native-unit predictions, one row per input row. The
+	// returned matrix is owned by w and only valid until the workspace's
+	// next use; callers that keep the values must copy them out first.
+	PredictMatrix(X *mat.Matrix, w *PredictWorkspace) *mat.Matrix
+}
+
 // PredictAll evaluates p on every row, taking the batched path when p
 // supports it and falling back to a per-row loop otherwise. Both paths
 // produce identical values row for row.
@@ -141,6 +155,12 @@ type NNModel struct {
 	// field leave them nil.
 	FeatureMin []float64
 	FeatureMax []float64
+
+	// ParamsF32 is the float32 quantization of Net's parameters, written
+	// into artifacts at persist time so the serve plane can run the f32
+	// inference path without re-quantizing. Nil for models that were never
+	// persisted or predate the field; F32 quantizes on demand in that case.
+	ParamsF32 []float32
 
 	// TrainResult records how training terminated.
 	TrainResult train.Result
@@ -245,16 +265,51 @@ func (m *NNModel) Predict(x []float64) []float64 {
 	return m.YScaler.Inverse(m.Net.Forward(m.XScaler.Transform(x)))
 }
 
-// predictScratch bundles the input matrix and batch workspace one
-// PredictAll call needs. Scratches are pooled so the parallel experiment
-// plane (surface grids, fold evaluations, probe sweeps) reuses buffers
-// across calls and goroutines instead of reallocating per batch.
-type predictScratch struct {
-	X  mat.Matrix
-	ws nn.BatchWorkspace
+// PredictWorkspace bundles every buffer a PredictMatrix call needs: the
+// row-copied input staging matrix, the standardized inputs, the forward
+// workspace (in both precisions), and the output matrix the call returns.
+// The zero value is ready to use; buffers grow on first use and are
+// retained across calls, so steady-state prediction sweeps run without
+// allocating. A workspace must not be used concurrently; pool workspaces
+// (sched.NewPool) to share them across goroutines.
+type PredictWorkspace struct {
+	in   mat.Matrix // caller rows staged for the matrix path (PredictAll)
+	xstd mat.Matrix // standardized inputs
+	out  mat.Matrix // native-unit predictions, returned by PredictMatrix
+	ws   nn.BatchWorkspace
+
+	// float32 twin buffers (F32Model's quantized inference path).
+	x32  mat.Matrix32
+	ws32 nn.BatchWorkspace32
+
+	// sub holds the member scratch an Ensemble prediction needs while the
+	// mean accumulates in out; lazily created on first ensemble use.
+	sub *PredictWorkspace
 }
 
-var predictPool = sched.NewPool(func() *predictScratch { return &predictScratch{} })
+// newPredictWorkspace is the (cold) allocation site for workspaces; the
+// hot paths only ever reuse pooled ones.
+func newPredictWorkspace() *PredictWorkspace { return &PredictWorkspace{} }
+
+var predictPool = sched.NewPool(newPredictWorkspace)
+
+// PredictMatrix evaluates every row of X through one batched forward pass
+// without allocating, writing standardized inputs, activations and
+// native-unit outputs into w. Row for row the values are bit-identical to
+// Predict. The returned matrix is w-owned scratch.
+//nnwc:hotpath
+func (m *NNModel) PredictMatrix(X *mat.Matrix, w *PredictWorkspace) *mat.Matrix {
+	w.xstd.Reshape(X.Rows, X.Cols)
+	for i := 0; i < X.Rows; i++ {
+		preprocess.TransformInto(m.XScaler, w.xstd.Row(i), X.Row(i))
+	}
+	pred := m.Net.ForwardBatch(&w.xstd, &w.ws)
+	w.out.Reshape(pred.Rows, pred.Cols)
+	for i := 0; i < pred.Rows; i++ {
+		preprocess.InverseInto(m.YScaler, w.out.Row(i), pred.Row(i))
+	}
+	return &w.out
+}
 
 // PredictAll maps Predict over rows through one batched forward pass; the
 // per-row results are bit-identical to calling Predict on each row.
@@ -262,13 +317,19 @@ func (m *NNModel) PredictAll(xs [][]float64) [][]float64 {
 	if len(xs) == 0 {
 		return nil
 	}
-	sc := predictPool.Get()
-	defer predictPool.Put(sc)
-	sc.X.CopyRows(preprocess.TransformAll(m.XScaler, xs))
-	pred := m.Net.ForwardBatch(&sc.X, &sc.ws)
-	out := make([][]float64, len(xs))
+	w := predictPool.Get()
+	defer predictPool.Put(w)
+	w.in.CopyRows(xs)
+	return rowsCopy(m.PredictMatrix(&w.in, w))
+}
+
+// rowsCopy materializes caller-owned rows from a workspace-owned matrix —
+// the boundary between the zero-alloc matrix plane and the [][]float64
+// convenience API.
+func rowsCopy(p *mat.Matrix) [][]float64 {
+	out := make([][]float64, p.Rows)
 	for i := range out {
-		out[i] = m.YScaler.Inverse(pred.Row(i))
+		out[i] = append([]float64(nil), p.Row(i)...)
 	}
 	return out
 }

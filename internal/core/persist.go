@@ -22,9 +22,15 @@ type modelJSON struct {
 	YScaler      scalerJSON `json:"y_scaler"`
 	// FeatureMin/FeatureMax carry the training envelope when the model
 	// recorded one; absent in artifacts written before the field existed.
-	FeatureMin []float64       `json:"feature_min,omitempty"`
-	FeatureMax []float64       `json:"feature_max,omitempty"`
-	Network    json.RawMessage `json:"network"`
+	FeatureMin []float64 `json:"feature_min,omitempty"`
+	FeatureMax []float64 `json:"feature_max,omitempty"`
+	// ParamsF32 is the float32 quantization of the network parameters,
+	// flat in nn.Network.Params layout. Written at persist time (train in
+	// f64, quantize once); absent in artifacts written before the field
+	// existed. Go's JSON encoding of float32 is shortest-round-trip, so
+	// the quantized values survive save/load bit-exactly.
+	ParamsF32 []float32       `json:"params_f32,omitempty"`
+	Network   json.RawMessage `json:"network"`
 }
 
 type scalerJSON struct {
@@ -89,6 +95,10 @@ func (m *NNModel) Save(w io.Writer) error {
 	if err := m.Net.Save(&netBuf); err != nil {
 		return err
 	}
+	paramsF32 := m.ParamsF32
+	if paramsF32 == nil {
+		paramsF32 = m.Net.QuantizeParams()
+	}
 	doc := modelJSON{
 		FeatureNames: m.FeatureNames,
 		TargetNames:  m.TargetNames,
@@ -96,6 +106,7 @@ func (m *NNModel) Save(w io.Writer) error {
 		YScaler:      ys,
 		FeatureMin:   m.FeatureMin,
 		FeatureMax:   m.FeatureMax,
+		ParamsF32:    paramsF32,
 		Network:      json.RawMessage(netBuf.Bytes()),
 	}
 	enc := json.NewEncoder(w)
@@ -138,6 +149,13 @@ func LoadModel(r io.Reader) (*NNModel, error) {
 		(len(m.FeatureMin) != len(m.FeatureNames) || len(m.FeatureMax) != len(m.FeatureNames)) {
 		return nil, fmt.Errorf("core: training envelope has %d/%d entries for %d features",
 			len(m.FeatureMin), len(m.FeatureMax), len(m.FeatureNames))
+	}
+	if doc.ParamsF32 != nil {
+		if len(doc.ParamsF32) != net.NumParams() {
+			return nil, fmt.Errorf("core: quantized vector has %d parameters, network has %d",
+				len(doc.ParamsF32), net.NumParams())
+		}
+		m.ParamsF32 = doc.ParamsF32
 	}
 	return m, nil
 }

@@ -1,0 +1,137 @@
+package mat
+
+// Matrix32 is the float32 counterpart of Matrix: a dense, row-major matrix
+// backing the quantized inference path. Training stays in float64; Matrix32
+// only ever holds quantized parameters and inference activations, where the
+// ~1e-7 relative rounding of float32 is far below the model's own error
+// (see DESIGN.md §13 for the tolerance budget).
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// Reshape reuses m's backing array as a rows×cols view, growing the backing
+// only when its capacity is insufficient — the same grow-on-first-use
+// contract as Matrix.Reshape. Returns m.
+//nnwc:hotpath
+func (m *Matrix32) Reshape(rows, cols int) *Matrix32 {
+	if rows <= 0 || cols <= 0 {
+		panic(ErrShape)
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		//lint:waive hotpath -- grow-on-first-use; the steady state takes the capacity fast path
+		m.Data = make([]float32, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// Row returns a view (not a copy) of row i.
+//nnwc:hotpath
+func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// At returns the element at row i, column j.
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// CopyRowsF64 quantizes a rectangular [][]float64 into m, reshaping it to
+// fit. Each element is rounded once to the nearest float32.
+//nnwc:hotpath
+func (m *Matrix32) CopyRowsF64(rows [][]float64) *Matrix32 {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic(ErrShape)
+	}
+	m.Reshape(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(ErrShape)
+		}
+		dst := m.Row(i)
+		for j, v := range r {
+			dst[j] = float32(v)
+		}
+	}
+	return m
+}
+
+// dotSeed2F32 is the float32 twin of dotSeed2: two seeded dot products
+// against a shared left operand, 4x-unrolled, one accumulator each.
+//nnwc:hotpath
+func dotSeed2F32(s0, s1 float32, a, b0, b1 []float32) (float32, float32) {
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b0[i]
+		s1 += a[i] * b1[i]
+		s0 += a[i+1] * b0[i+1]
+		s1 += a[i+1] * b1[i+1]
+		s0 += a[i+2] * b0[i+2]
+		s1 += a[i+2] * b1[i+2]
+		s0 += a[i+3] * b0[i+3]
+		s1 += a[i+3] * b1[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b0[i]
+		s1 += a[i] * b1[i]
+	}
+	return s0, s1
+}
+
+// DotSeed32 returns s + Σᵢ a[i]·b[i] over float32 vectors, accumulated in
+// ascending order onto the single float32 accumulator s.
+//nnwc:hotpath
+func DotSeed32(s float32, a, b []float32) float32 {
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// MulTransBiasInto32 is the float32 twin of MulTransBiasInto: the tiled
+// batched affine transform dst[i][j] = bias[j] + Σₖ a[i][k]·b[j][k], with
+// the same blocking, pairing, and ascending-k single-accumulator order —
+// so the f32 inference path is deterministic in its own right. bias may be
+// nil. Returns dst reshaped to a.Rows×b.Rows.
+//nnwc:hotpath
+func MulTransBiasInto32(dst, a, b *Matrix32, bias []float32) *Matrix32 {
+	if a.Cols != b.Cols || (bias != nil && len(bias) != b.Rows) {
+		panic(ErrShape)
+	}
+	dst.Reshape(a.Rows, b.Rows)
+	for i0 := 0; i0 < a.Rows; i0 += blockRows {
+		i1 := min(i0+blockRows, a.Rows)
+		for j0 := 0; j0 < b.Rows; j0 += blockCols {
+			j1 := min(j0+blockCols, b.Rows)
+			for i := i0; i < i1; i++ {
+				arow := a.Row(i)
+				crow := dst.Row(i)
+				j := j0
+				for ; j+2 <= j1; j += 2 {
+					var s0, s1 float32
+					if bias != nil {
+						s0, s1 = bias[j], bias[j+1]
+					}
+					crow[j], crow[j+1] = dotSeed2F32(s0, s1, arow, b.Row(j), b.Row(j+1))
+				}
+				for ; j < j1; j++ {
+					var s float32
+					if bias != nil {
+						s = bias[j]
+					}
+					crow[j] = DotSeed32(s, arow, b.Row(j))
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -77,10 +77,7 @@ func MulInto(dst, a, b *Matrix) *Matrix {
 			if av == 0 {
 				continue
 			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+			AXPY(av, b.Row(k), crow)
 		}
 	}
 	return dst
@@ -88,22 +85,11 @@ func MulInto(dst, a, b *Matrix) *Matrix {
 
 // MulTransInto computes dst = a·bᵀ without allocating — the batched layer
 // product (samples × features)·(outputs × features)ᵀ. Both operands are
-// walked row-contiguously. dst must not alias a or b; it is reshaped to
-// a.Rows×b.Rows. Returns dst.
+// walked row-contiguously through the tiled kernel. dst must not alias a or
+// b; it is reshaped to a.Rows×b.Rows. Returns dst.
 //nnwc:hotpath
 func MulTransInto(dst, a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(ErrShape)
-	}
-	dst.Reshape(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			crow[j] = Dot(arow, b.Row(j))
-		}
-	}
-	return dst
+	return MulTransBiasInto(dst, a, b, nil)
 }
 
 // MulTransLeftInto computes dst = aᵀ·b without allocating — the gradient

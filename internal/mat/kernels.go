@@ -1,0 +1,132 @@
+package mat
+
+// This file holds the cache-blocked compute kernels behind the batched
+// neural-network forward and backward passes. They are pure loop-order
+// optimizations: every output element is produced by exactly the same
+// floating-point operation sequence as the naive formulation (single
+// accumulator per element, ascending-k accumulation), so routing the nn
+// spine through them cannot perturb the repo's 1e-9 seed-reference pin.
+//
+// Techniques, in order of impact on this workload (see DESIGN.md §13):
+//
+//   - Tiling over the two *independent* output axes (a-rows × b-rows) keeps
+//     a block of b's rows hot in cache while a streams past, without ever
+//     splitting the k (reduction) axis — splitting k would reassociate the
+//     sum and change the rounding.
+//   - Paired-j inner kernels compute two output columns per sweep of an
+//     a-row, halving a-row traffic; the two accumulators are independent,
+//     so each retains its exact sequential addition order.
+//   - Slice re-slicing (`b = b[:len(a)]`) before the inner loops gives the
+//     compiler a single bounds proof, and the 4x-unrolled cores in Dot /
+//     DotSeed / AXPY amortize loop overhead.
+
+// Tile shapes: blockRows a-rows per tile × blockCols b-rows per tile keeps
+// a b-block (blockCols × k for the k ≤ a few hundred used here) plus one
+// dst stripe resident in L1 while the a block streams through.
+const (
+	blockRows = 64
+	blockCols = 16
+)
+
+// dotSeed2 accumulates two independent seeded dot products against a shared
+// left operand in one sweep: s0 + Σ a·b0 and s1 + Σ a·b1. Each accumulator
+// sees the same ascending addition order as a standalone DotSeed, so the
+// pairing is bit-identical to two sequential calls.
+//nnwc:hotpath
+func dotSeed2(s0, s1 float64, a, b0, b1 []float64) (float64, float64) {
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b0[i]
+		s1 += a[i] * b1[i]
+		s0 += a[i+1] * b0[i+1]
+		s1 += a[i+1] * b1[i+1]
+		s0 += a[i+2] * b0[i+2]
+		s1 += a[i+2] * b1[i+2]
+		s0 += a[i+3] * b0[i+3]
+		s1 += a[i+3] * b1[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b0[i]
+		s1 += a[i] * b1[i]
+	}
+	return s0, s1
+}
+
+// MulTransBiasInto computes dst[i][j] = bias[j] + Σₖ a[i][k]·b[j][k] — the
+// batched affine layer transform (samples × features)·(outputs × features)ᵀ
+// plus a per-output bias, accumulated bias-first in ascending k exactly like
+// the per-sample perceptron loop. bias may be nil for a plain a·bᵀ. dst must
+// not alias a or b; it is reshaped to a.Rows×b.Rows. Returns dst.
+//nnwc:hotpath
+func MulTransBiasInto(dst, a, b *Matrix, bias []float64) *Matrix {
+	if a.Cols != b.Cols || (bias != nil && len(bias) != b.Rows) {
+		panic(ErrShape)
+	}
+	dst.Reshape(a.Rows, b.Rows)
+	for i0 := 0; i0 < a.Rows; i0 += blockRows {
+		i1 := min(i0+blockRows, a.Rows)
+		for j0 := 0; j0 < b.Rows; j0 += blockCols {
+			j1 := min(j0+blockCols, b.Rows)
+			for i := i0; i < i1; i++ {
+				arow := a.Row(i)
+				crow := dst.Row(i)
+				j := j0
+				for ; j+2 <= j1; j += 2 {
+					var s0, s1 float64
+					if bias != nil {
+						s0, s1 = bias[j], bias[j+1]
+					}
+					crow[j], crow[j+1] = dotSeed2(s0, s1, arow, b.Row(j), b.Row(j+1))
+				}
+				for ; j < j1; j++ {
+					var s float64
+					if bias != nil {
+						s = bias[j]
+					}
+					crow[j] = DotSeed(s, arow, b.Row(j))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// GradAccumInto accumulates one batch of layer gradients: for every sample
+// row r (ascending), every output o, and every input j it performs
+//
+//	db[o]       += scale·delta[r][o]
+//	dw[o][j]    += scale·(delta[r][o]·in[r][j])
+//
+// — the exact expression and ascending r/o/j order of the per-sample
+// backprop path, so scale = 1/N reproduces the classic mean-gradient epoch
+// bit-for-bit. dw and db are accumulated into, not overwritten. delta is
+// batch×outputs, in is batch×inputs, dw outputs×inputs, db len outputs.
+//nnwc:hotpath
+func GradAccumInto(dw *Matrix, db []float64, delta, in *Matrix, scale float64) {
+	if delta.Rows != in.Rows || dw.Rows != delta.Cols || dw.Cols != in.Cols || len(db) != delta.Cols {
+		panic(ErrShape)
+	}
+	dwd := dw.Data
+	for r := 0; r < delta.Rows; r++ {
+		drow := delta.Row(r)
+		xrow := in.Row(r)
+		off := 0
+		for o, d := range drow {
+			db[o] += scale * d
+			row := dwd[off : off+len(xrow)]
+			off += dw.Cols
+			j := 0
+			for ; j+4 <= len(xrow); j += 4 {
+				row[j] += scale * (d * xrow[j])
+				row[j+1] += scale * (d * xrow[j+1])
+				row[j+2] += scale * (d * xrow[j+2])
+				row[j+3] += scale * (d * xrow[j+3])
+			}
+			for ; j < len(xrow); j++ {
+				row[j] += scale * (d * xrow[j])
+			}
+		}
+	}
+}

@@ -170,15 +170,34 @@ func (m *Matrix) String() string {
 	return sb.String()
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. The loop is
+// 4x-unrolled onto a single accumulator, so the addition sequence — and
+// therefore every rounding step — is identical to the plain ascending loop.
 //nnwc:hotpath
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(ErrShape)
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	return DotSeed(0, a, b)
+}
+
+// DotSeed returns s + Σᵢ a[i]·b[i] accumulated in ascending order onto the
+// single accumulator s — the seeded inner product behind both Dot and the
+// bias-first affine kernels (a perceptron's Σ wⱼxⱼ starts from its bias).
+// a and b must have equal length; the 4x unrolling preserves the exact
+// addition sequence of the plain loop.
+//nnwc:hotpath
+func DotSeed(s float64, a, b []float64) float64 {
+	b = b[:len(a)] // one bounds proof for the whole loop
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -193,15 +212,23 @@ func Norm2(v []float64) float64 {
 	return math.Sqrt(s)
 }
 
-// AXPY computes y += alpha*x in place.
+// AXPY computes y += alpha*x in place. Elements are independent, so the 4x
+// unrolling cannot change any rounding.
 //nnwc:hotpath
 func AXPY(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(ErrShape)
 	}
 	y = y[:len(x)]
-	for i, v := range x {
-		y[i] += alpha * v
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
 	}
 }
 

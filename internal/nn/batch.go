@@ -53,9 +53,12 @@ func (n *Network) ForwardTraceBatch(X *mat.Matrix, ws *BatchWorkspace) (acts, pr
 	in := X
 	for i, l := range n.Layers {
 		out, pre := ws.acts[i], ws.pres[i]
-		for r := 0; r < X.Rows; r++ {
-			l.forwardInto(in.Row(r), out.Row(r), pre.Row(r))
-		}
+		// One tiled affine kernel for the whole batch, then the activation
+		// over the flat backing array — the row-major flattening visits
+		// elements in the same per-row ascending order as the per-sample
+		// path, so both stay bit-identical to forwardInto.
+		mat.MulTransBiasInto(pre, in, l.W, l.B)
+		EvalRow(l.Act, pre.Data, out.Data)
 		ws.actsAll[i+1] = out
 		in = out
 	}

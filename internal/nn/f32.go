@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"fmt"
+
+	"nnwc/internal/mat"
+)
+
+// This file implements the float32 inference path: training always runs in
+// float64, but a trained network can be quantized once into a flat float32
+// parameter vector and served through float32 forward kernels at roughly
+// half the memory traffic. Quantization is a single round-to-nearest per
+// parameter; the serve-plane accuracy contract is pinned by the f32/f64
+// parity tests in internal/core (see DESIGN.md §13).
+
+// QuantizeParams returns the network's flat parameter vector rounded once
+// to float32, in the exact Params layout (per layer: row-major weights,
+// then biases).
+func (n *Network) QuantizeParams() []float32 {
+	q := make([]float32, len(n.params))
+	for i, v := range n.params {
+		q[i] = float32(v)
+	}
+	return q
+}
+
+// layerF32 is one fully connected layer viewing a slice of a NetworkF32's
+// flat parameter vector, mirroring Layer's weights-then-biases block.
+type layerF32 struct {
+	inputs, outputs int
+	w               mat.Matrix32 // outputs × inputs weights, row-major view
+	b               []float32    // outputs biases view
+	act             Activation
+}
+
+// NetworkF32 is the quantized inference twin of Network: same topology and
+// activations, parameters held in one flat []float32 with per-layer views.
+// It only evaluates forward passes — there is no float32 training.
+type NetworkF32 struct {
+	layers []layerF32
+	params []float32
+}
+
+// NetworkF32From builds the float32 twin of n from a quantized flat
+// parameter vector laid out like Params (as produced by QuantizeParams and
+// persisted in model artifacts). A nil params quantizes n's live parameters.
+// The vector is copied, so the twin is immune to later retraining of n.
+func NetworkF32From(n *Network, params []float32) (*NetworkF32, error) {
+	if params == nil {
+		params = n.QuantizeParams()
+	} else {
+		if len(params) != n.NumParams() {
+			return nil, fmt.Errorf("nn: quantized vector has %d parameters, network has %d", len(params), n.NumParams())
+		}
+		params = append([]float32(nil), params...)
+	}
+	f := &NetworkF32{params: params}
+	off := 0
+	for _, l := range n.Layers {
+		wspan := l.Outputs * l.Inputs
+		f.layers = append(f.layers, layerF32{
+			inputs:  l.Inputs,
+			outputs: l.Outputs,
+			w:       mat.Matrix32{Rows: l.Outputs, Cols: l.Inputs, Data: params[off : off+wspan]},
+			b:       params[off+wspan : off+wspan+l.Outputs],
+			act:     l.Act,
+		})
+		off += wspan + l.Outputs
+	}
+	return f, nil
+}
+
+// InputDim returns the expected input dimensionality.
+func (f *NetworkF32) InputDim() int { return f.layers[0].inputs }
+
+// OutputDim returns the output dimensionality.
+func (f *NetworkF32) OutputDim() int { return f.layers[len(f.layers)-1].outputs }
+
+// NumParams returns the total number of quantized parameters.
+func (f *NetworkF32) NumParams() int { return len(f.params) }
+
+// Params returns the flat quantized parameter vector (aliasing the live
+// views, like Network.Params).
+func (f *NetworkF32) Params() []float32 { return f.params }
+
+// BatchWorkspace32 holds the per-layer float32 activation buffers batched
+// f32 evaluation writes into; same grow-only, not-concurrency-safe contract
+// as BatchWorkspace.
+type BatchWorkspace32 struct {
+	acts []*mat.Matrix32
+	pres []*mat.Matrix32
+}
+
+func (ws *BatchWorkspace32) ensure(f *NetworkF32, batch int) {
+	if len(ws.acts) != len(f.layers) {
+		ws.acts = make([]*mat.Matrix32, len(f.layers))
+		ws.pres = make([]*mat.Matrix32, len(f.layers))
+		for i := range ws.acts {
+			ws.acts[i] = &mat.Matrix32{}
+			ws.pres[i] = &mat.Matrix32{}
+		}
+	}
+	for i, l := range f.layers {
+		ws.acts[i].Reshape(batch, l.outputs)
+		ws.pres[i].Reshape(batch, l.outputs)
+	}
+}
+
+// EvalRow32 applies act to every pre[i], writing out[i]. The activation
+// arithmetic runs in float64 (one widening per element, one rounding back),
+// so the f32 path reuses the exact math.Exp/Tanh code paths of the f64
+// kernels and differs from them only by the float32 roundings.
+//nnwc:hotpath
+func EvalRow32(act Activation, pre, out []float32) {
+	out = out[:len(pre)]
+	switch a := act.(type) {
+	case Identity:
+		copy(out, pre)
+	case Logistic:
+		for i, v := range pre {
+			out[i] = float32(a.Eval(float64(v)))
+		}
+	case Tanh:
+		for i, v := range pre {
+			out[i] = float32(Tanh{}.Eval(float64(v)))
+		}
+	case ReLU:
+		for i, v := range pre {
+			out[i] = float32(ReLU{}.Eval(float64(v)))
+		}
+	case LogCompress:
+		for i, v := range pre {
+			out[i] = float32(LogCompress{}.Eval(float64(v)))
+		}
+	default:
+		for i, v := range pre {
+			out[i] = float32(act.Eval(float64(v)))
+		}
+	}
+}
+
+// ForwardBatch runs the quantized network on every row of X and returns the
+// output matrix, a view into ws valid until its next use. Steady-state
+// calls perform zero allocation.
+//nnwc:hotpath
+func (f *NetworkF32) ForwardBatch(X *mat.Matrix32, ws *BatchWorkspace32) *mat.Matrix32 {
+	if X.Cols != f.InputDim() {
+		panic(fmt.Sprintf("nn: batch has %d columns, network expects %d inputs", X.Cols, f.InputDim()))
+	}
+	ws.ensure(f, X.Rows)
+	in := X
+	for i, l := range f.layers {
+		out, pre := ws.acts[i], ws.pres[i]
+		mat.MulTransBiasInto32(pre, in, &l.w, l.b)
+		EvalRow32(l.act, pre.Data, out.Data)
+		in = out
+	}
+	return in
+}

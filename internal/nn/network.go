@@ -61,18 +61,15 @@ func (l *Layer) Forward(x []float64) (out, pre []float64) {
 // plus activation into caller-owned slices. The pre-activations are
 // computed first and the activation applied row-wise afterwards — same
 // values as the per-neuron formulation, but with the activation
-// devirtualized once per row.
+// devirtualized once per row. The seeded dot accumulates bias-first in
+// ascending j, matching the batched mat.MulTransBiasInto kernel bit for
+// bit.
 //nnwc:hotpath
 func (l *Layer) forwardInto(x, out, pre []float64) {
 	wd, off := l.W.Data, 0
 	for i := 0; i < l.Outputs; i++ {
-		s := l.B[i]
-		w := wd[off : off+len(x)]
+		pre[i] = mat.DotSeed(l.B[i], x, wd[off:off+len(x)])
 		off += l.Inputs
-		for j, xv := range x {
-			s += w[j] * xv
-		}
-		pre[i] = s
 	}
 	EvalRow(l.Act, pre[:l.Outputs], out)
 }

@@ -208,6 +208,72 @@ func (id *Identity) Inverse(row []float64) []float64 {
 // Dims returns the fitted column count.
 func (id *Identity) Dims() int { return id.dims }
 
+// TransformInto standardizes row into caller-owned dst (same length) without
+// allocating for the scalers this package ships, devirtualizing on the
+// concrete type once per row like nn.EvalRow; unknown Scaler implementations
+// fall back to the allocating Transform. The arithmetic per element is
+// identical to Transform. dst may alias row.
+//nnwc:hotpath
+func TransformInto(s Scaler, dst, row []float64) {
+	if len(dst) != len(row) {
+		panic(fmt.Sprintf("preprocess: TransformInto dst has %d entries, row %d", len(dst), len(row)))
+	}
+	switch sc := s.(type) {
+	case *Standardizer:
+		sc.mustFitted(len(row))
+		for j, v := range row {
+			dst[j] = (v - sc.mean[j]) / sc.std[j]
+		}
+	case *MinMax:
+		sc.mustFitted(len(row))
+		for j, v := range row {
+			dst[j] = sc.lo + (sc.hi-sc.lo)*(v-sc.min[j])/sc.rangw[j]
+		}
+	case *Identity:
+		copy(dst, row)
+	default:
+		transformFallback(s, dst, row)
+	}
+}
+
+// transformFallback serves foreign Scaler implementations through the
+// allocating Transform; the shipped scalers take the in-place paths in
+// TransformInto. Kept out of the hot-path tag so the allocation is
+// attributed to the foreign scaler, not the kernel.
+func transformFallback(s Scaler, dst, row []float64) {
+	copy(dst, s.Transform(row))
+}
+
+// InverseInto undoes TransformInto into caller-owned dst with the same
+// devirtualization and zero-allocation contract. dst may alias row.
+//nnwc:hotpath
+func InverseInto(s Scaler, dst, row []float64) {
+	if len(dst) != len(row) {
+		panic(fmt.Sprintf("preprocess: InverseInto dst has %d entries, row %d", len(dst), len(row)))
+	}
+	switch sc := s.(type) {
+	case *Standardizer:
+		sc.mustFitted(len(row))
+		for j, v := range row {
+			dst[j] = v*sc.std[j] + sc.mean[j]
+		}
+	case *MinMax:
+		sc.mustFitted(len(row))
+		for j, v := range row {
+			dst[j] = sc.min[j] + (v-sc.lo)/(sc.hi-sc.lo)*sc.rangw[j]
+		}
+	case *Identity:
+		copy(dst, row)
+	default:
+		inverseFallback(s, dst, row)
+	}
+}
+
+// inverseFallback is transformFallback's counterpart for Inverse.
+func inverseFallback(s Scaler, dst, row []float64) {
+	copy(dst, s.Inverse(row))
+}
+
 // TransformAll applies s.Transform to every row.
 func TransformAll(s Scaler, rows [][]float64) [][]float64 {
 	out := make([][]float64, len(rows))

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"nnwc/internal/core"
+)
+
+// TestFloat32FlagSelectsQuantizedKernel pins the serve-plane precision
+// switch: with Config.Float32 the deployed instance serves through
+// core.F32Model, reports precision "float32" end to end, and its answers
+// track the float64 path within the pinned parity budget.
+func TestFloat32FlagSelectsQuantizedKernel(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestModel(t, dir, 3)
+
+	s32, ts32 := newTestServer(t, Config{ModelPath: path, Float32: true, MaxBatch: 1})
+	s64, ts64 := newTestServer(t, Config{ModelPath: path, MaxBatch: 1})
+
+	live32 := s32.Controller().Deployment(DefaultSingleTenant).Live()
+	if live32.Precision != "float32" {
+		t.Fatalf("f32 server live instance precision %q, want float32", live32.Precision)
+	}
+	if _, ok := live32.Pred.(*core.F32Model); !ok {
+		t.Fatalf("f32 server serves through %T, want *core.F32Model", live32.Pred)
+	}
+	live64 := s64.Controller().Deployment(DefaultSingleTenant).Live()
+	if live64.Precision != "float64" {
+		t.Fatalf("default server live instance precision %q, want float64", live64.Precision)
+	}
+	if _, ok := live64.Pred.(*core.NNModel); !ok {
+		t.Fatalf("default server serves through %T, want *core.NNModel", live64.Pred)
+	}
+
+	x := []float64{1.25, -0.5}
+	var r32, r64 PredictResponse
+	resp, body := postJSON(t, ts32.URL+"/predict", PredictRequest{X: x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("f32 predict: status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal([]byte(body), &r32); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts64.URL+"/predict", PredictRequest{X: x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("f64 predict: status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal([]byte(body), &r64); err != nil {
+		t.Fatal(err)
+	}
+
+	if r32.Model.Precision != "float32" {
+		t.Fatalf("f32 response reports precision %q", r32.Model.Precision)
+	}
+	if r64.Model.Precision != "float64" {
+		t.Fatalf("f64 response reports precision %q", r64.Model.Precision)
+	}
+	for j := range r64.Predictions[0] {
+		got, want := r32.Predictions[0][j], r64.Predictions[0][j]
+		if rel := math.Abs(got-want) / (1 + math.Abs(want)); rel > 1e-4 {
+			t.Fatalf("output %d: f32 %v vs f64 %v (rel %v)", j, got, want, rel)
+		}
+	}
+
+	// The in-process API takes the same quantized path.
+	direct, err := s32.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range direct {
+		if direct[j] != r32.Predictions[0][j] {
+			t.Fatalf("in-process f32 output %d: %v vs HTTP %v", j, direct[j], r32.Predictions[0][j])
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"nnwc/internal/core"
+	"nnwc/internal/mat"
 	"nnwc/internal/obs"
 	"nnwc/internal/sched"
 	"nnwc/internal/stats"
@@ -74,6 +75,17 @@ func EvaluateWorkers(p core.Predictor, s Slice, inputDim, outputDim, workers int
 	return EvaluateTraced(p, s, inputDim, outputDim, workers, nil)
 }
 
+// probeScratch bundles the batch-sized buffers one grid-row probe needs:
+// the configuration matrix (one row per YValue) and the model's predict
+// workspace. Pooled so concurrent rows and repeated sweeps reuse buffers
+// instead of materializing ~grid-size configuration vectors per call.
+type probeScratch struct {
+	X mat.Matrix
+	w core.PredictWorkspace
+}
+
+var probePool = sched.NewPool(func() *probeScratch { return &probeScratch{} })
+
 // EvaluateTraced is EvaluateWorkers with a span per grid row emitted to tr
 // (nil disables tracing). Row spans buffer per row index and replay in row
 // order, so the trace is deterministic across worker counts.
@@ -81,24 +93,29 @@ func EvaluateTraced(p core.Predictor, s Slice, inputDim, outputDim, workers int,
 	if err := s.Validate(inputDim, outputDim); err != nil {
 		return nil, err
 	}
+	mp, fast := p.(core.MatrixPredictor)
 	z := make([][]float64, len(s.XValues))
 	fork := tr.Fork(len(s.XValues))
 	err := sched.ForEachWorker(sched.Workers(workers), len(s.XValues), func(i, w int) error {
 		slot := fork.Slot(i)
 		span := slot.StartSpan("surface-row", i, w)
 		defer span.End()
-		rows := make([][]float64, len(s.YValues))
-		for j, yv := range s.YValues {
-			x := make([]float64, inputDim)
-			copy(x, s.Fixed)
-			x[s.XIndex] = s.XValues[i]
-			x[s.YIndex] = yv
-			rows[j] = x
-		}
-		outs := core.PredictAll(p, rows)
 		zi := make([]float64, len(s.YValues))
-		for j := range zi {
-			zi[j] = outs[j][s.Output]
+		if fast {
+			probeRow(mp, s, s.XValues[i], inputDim, zi)
+		} else {
+			rows := make([][]float64, len(s.YValues))
+			for j, yv := range s.YValues {
+				x := make([]float64, inputDim)
+				copy(x, s.Fixed)
+				x[s.XIndex] = s.XValues[i]
+				x[s.YIndex] = yv
+				rows[j] = x
+			}
+			outs := core.PredictAll(p, rows)
+			for j := range zi {
+				zi[j] = outs[j][s.Output]
+			}
 		}
 		z[i] = zi
 		return nil
@@ -108,6 +125,28 @@ func EvaluateTraced(p core.Predictor, s Slice, inputDim, outputDim, workers int,
 		return nil, err
 	}
 	return &Grid{Slice: s, Z: z}, nil
+}
+
+// probeRow evaluates one grid row (one XValue, every YValue) through the
+// zero-alloc matrix path: configurations build in place in the pooled
+// scratch matrix and one PredictMatrix call answers the whole row. The
+// values are identical to the core.PredictAll fallback — both route the
+// same batched forward kernels.
+//nnwc:hotpath
+func probeRow(mp core.MatrixPredictor, s Slice, xv float64, inputDim int, zi []float64) {
+	sc := probePool.Get()
+	defer probePool.Put(sc)
+	sc.X.Reshape(len(s.YValues), inputDim)
+	for j, yv := range s.YValues {
+		row := sc.X.Row(j)
+		copy(row, s.Fixed)
+		row[s.XIndex] = xv
+		row[s.YIndex] = yv
+	}
+	out := mp.PredictMatrix(&sc.X, &sc.w)
+	for j := range zi {
+		zi[j] = out.At(j, s.Output)
+	}
 }
 
 // Min returns the grid minimum and its coordinates.

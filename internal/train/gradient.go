@@ -152,7 +152,9 @@ func BackpropBatch(net *nn.Network, X, Y *mat.Matrix, scale float64, ws *Workspa
 	lastLayer := net.Layers[last]
 	pred := acts[last+1]
 
-	// Output-layer deltas and total loss, sample by sample in row order.
+	// Output-layer deltas and total loss, sample by sample in row order,
+	// then one derivative sweep over the flat delta matrix (element-wise, so
+	// flattening the per-row calls changes no rounding).
 	delta := ws.delta.Reshape(batch, lastLayer.Outputs)
 	var total float64
 	for r := 0; r < batch; r++ {
@@ -163,53 +165,27 @@ func BackpropBatch(net *nn.Network, X, Y *mat.Matrix, scale float64, ws *Workspa
 			loss += 0.5 * diff * diff
 			drow[i] = diff
 		}
-		nn.ScaleByDeriv(lastLayer.Act, pres[last].Row(r), prow, drow)
 		total += loss
 	}
+	nn.ScaleByDeriv(lastLayer.Act, pres[last].Data, pred.Data, delta.Data)
 
 	// Walk the layers backwards: accumulate scaled gradients over the batch
-	// and propagate deltas. For each parameter the accumulation order over
-	// samples matches the per-sample path (t := d·x, then += scale·t).
+	// and propagate deltas through the mat kernels. GradAccumInto keeps the
+	// per-sample path's exact expression and ascending r/o/j order; MulInto
+	// accumulates Σₒ d·W[o][j] in the same ascending-o order as the old
+	// per-row AXPY loop.
 	out.Zero()
 	cur, next := &ws.delta, &ws.delta2
 	for li := last; li >= 0; li-- {
 		layer := net.Layers[li]
 		in := acts[li]
-		dw, db := out.DW[li], out.DB[li]
-		dwd := dw.Data
-		for r := 0; r < batch; r++ {
-			drow := cur.Row(r)
-			xrow := in.Row(r)
-			off := 0
-			for o, d := range drow {
-				db[o] += scale * d
-				row := dwd[off : off+len(xrow)]
-				off += layer.Inputs
-				for j, xv := range xrow {
-					t := d * xv
-					row[j] += scale * t
-				}
-			}
-		}
+		mat.GradAccumInto(out.DW[li], out.DB[li], cur, in, scale)
 		if li == 0 {
 			break
 		}
 		prev := net.Layers[li-1]
-		nd := next.Reshape(batch, prev.Outputs)
-		wd := layer.W.Data
-		for r := 0; r < batch; r++ {
-			drow := cur.Row(r)
-			ndrow := nd.Row(r)
-			for j := range ndrow {
-				ndrow[j] = 0
-			}
-			off := 0
-			for _, d := range drow {
-				mat.AXPY(d, wd[off:off+layer.Inputs], ndrow)
-				off += layer.Inputs
-			}
-			nn.ScaleByDeriv(prev.Act, pres[li-1].Row(r), acts[li].Row(r), ndrow)
-		}
+		nd := mat.MulInto(next, cur, layer.W)
+		nn.ScaleByDeriv(prev.Act, pres[li-1].Data, acts[li].Data, nd.Data)
 		cur, next = next, cur
 	}
 	return total
