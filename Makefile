@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench-smoke bench bench-json bench-kernels serve-bench bench-obs ci clean
+.PHONY: all build vet lint test race dist-test bench-smoke bench bench-json bench-kernels serve-bench bench-obs ci clean
 
 all: ci
 
@@ -21,6 +21,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Multi-process distribution tests (see DESIGN.md §14): coordinator + real
+# worker processes over HTTP, SIGKILLed and replaced mid-lease, with the
+# final cross-validation byte-compared to the serial seed reference.
+dist-test:
+	$(GO) test -race -count 1 -v -run 'TestDist' ./internal/dist/ ./internal/dist/jobs/
 
 # One iteration of every benchmark: catches bit-rot in the bench harnesses
 # without paying for real measurement runs.

@@ -15,18 +15,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"nnwc/internal/core"
+	"nnwc/internal/dist"
+	"nnwc/internal/dist/jobs"
 	"nnwc/internal/rng"
 	"nnwc/internal/stats"
 	"nnwc/internal/surface"
@@ -85,6 +90,27 @@ func main() {
 	}
 	sl := benchSlice()
 
+	// The distributed entries ship the dataset as a content-addressed CSV
+	// artifact over loopback HTTP, exactly as `nnwc crossval -coordinator`
+	// does. WriteCSV prints shortest-round-trip decimals, so the workers
+	// reload the same bits the in-process benchmarks train on.
+	tmpDir, err := os.MkdirTemp("", "benchjson-dist-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(tmpDir)
+	csvPath := filepath.Join(tmpDir, "bench.csv")
+	cacheDir := filepath.Join(tmpDir, "cache")
+	if err := writeDatasetCSV(ds, csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := verifyDistParity(ds, csvPath, cacheDir, epochs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: distributed parity check failed:", err)
+		os.Exit(1)
+	}
+
 	rep := report{NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0), Quick: *quick}
 	benches := []struct {
 		name string
@@ -115,6 +141,20 @@ func main() {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := surface.EvaluateWorkers(model, sl, model.InputDim(), model.OutputDim(), w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		// Coordinator + w workers over loopback HTTP; here "workers" is the
+		// process-equivalent worker count, not a scheduler width. The epoch
+		// budget matches the CLI path (early stopping enabled), so compare
+		// these entries with each other, not with crossval_k5.
+		{"dist_crossval_k5", func(w int) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := distCrossval(csvPath, cacheDir, w, epochs); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -238,6 +278,75 @@ func verifyDeterminism(ds *workload.Dataset, cfg core.Config, counts []int) erro
 			if !stats.ExactEqual(got.Averages[j], ref.Averages[j]) {
 				return fmt.Errorf("workers=%d average[%d] = %v, workers=1 gave %v", w, j, got.Averages[j], ref.Averages[j])
 			}
+		}
+	}
+	return nil
+}
+
+func writeDatasetCSV(ds *workload.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// distCrossval runs one distributed cross-validation: a loopback
+// coordinator plus n in-process workers pulling leases over real HTTP —
+// the same protocol path `nnwc crossval -coordinator/-worker` exercises
+// across machines.
+func distCrossval(csvPath, cacheDir string, n, epochs int) (*core.CVResult, error) {
+	opt := jobs.Options{
+		Addr:            "127.0.0.1:0",
+		JobID:           "benchjson",
+		LeaseSize:       1,
+		LingerAfterDone: 50 * time.Millisecond,
+		OnStart: func(addr string) {
+			for i := 0; i < n; i++ {
+				w, err := jobs.NewWorker(dist.WorkerConfig{
+					Coordinator: addr,
+					CacheDir:    cacheDir,
+					Parallelism: 1,
+					BackoffMin:  2 * time.Millisecond,
+					BackoffMax:  20 * time.Millisecond,
+					WaitForJob:  10 * time.Second,
+					GiveUp:      10 * time.Second,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchjson: worker:", err)
+					os.Exit(1)
+				}
+				w.Start(context.Background())
+			}
+		},
+	}
+	cv, _, err := jobs.CoordinateCrossval(context.Background(), opt, csvPath, 5, "10", epochs, 42)
+	return cv, err
+}
+
+// verifyDistParity confirms the distribution plane's core guarantee before
+// timing it: a coordinator + 2 workers land on the exact bits the local
+// path computes for the same CLI-equivalent configuration.
+func verifyDistParity(ds *workload.Dataset, csvPath, cacheDir string, epochs int) error {
+	cfg, err := jobs.ModelConfig("10", epochs, 1)
+	if err != nil {
+		return err
+	}
+	ref, err := core.CrossValidateWorkers(ds, cfg, 5, 42, 1)
+	if err != nil {
+		return err
+	}
+	got, err := distCrossval(csvPath, cacheDir, 2, epochs)
+	if err != nil {
+		return err
+	}
+	for j := range ref.Averages {
+		if !stats.ExactEqual(got.Averages[j], ref.Averages[j]) {
+			return fmt.Errorf("dist average[%d] = %v, local gave %v", j, got.Averages[j], ref.Averages[j])
 		}
 	}
 	return nil

@@ -5,21 +5,30 @@
 //
 //	experiments [-run all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8|baseline|extrapolation|recommend]
 //	            [-out results] [-seed N] [-quick] [-workers N]
+//	experiments -worker URL [-workers N] [-dist-cache DIR]
 //
 // Reports print to stdout; CSV artifacts land in the output directory.
 // Independent runs (CV folds, ensemble members, sweep cells, surface rows)
 // execute on a deterministic worker pool; -workers bounds its concurrency
-// and the outputs are bit-identical at every setting.
+// and the outputs are bit-identical at every setting. With -worker the
+// process instead serves a distributed experiment coordinator (one
+// started with `nnwc <subcommand> -coordinator ADDR`), executing whatever
+// job kind it offers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"nnwc/internal/dist"
+	"nnwc/internal/dist/jobs"
 	"nnwc/internal/experiments"
 	"nnwc/internal/obs"
 	"nnwc/internal/sched"
@@ -33,11 +42,34 @@ func main() {
 		quick     = flag.Bool("quick", false, "scaled-down settings (for smoke runs)")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent workers for parallel phases (results are identical at any setting)")
+		worker    = flag.String("worker", "", "serve a distributed experiment coordinator at URL instead of running experiments")
+		cache     = flag.String("dist-cache", "", "worker-side artifact cache directory (default: a fresh temp dir)")
 		traceDir  = flag.String("trace", "", "write a run trace and manifest under this directory (e.g. runs/)")
 		pprofAddr = flag.String("pprof-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
 	)
 	flag.Parse()
 	sched.SetWorkers(*workers)
+
+	if *worker != "" {
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		w, err := jobs.NewWorker(dist.WorkerConfig{
+			Coordinator: *worker,
+			CacheDir:    *cache,
+			Parallelism: *workers,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err == nil {
+			err = w.Run(ctx)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

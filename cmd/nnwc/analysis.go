@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"nnwc/internal/core"
+	"nnwc/internal/dist/jobs"
 	"nnwc/internal/sched"
 	"nnwc/internal/sensitivity"
 )
@@ -17,27 +18,45 @@ func cmdImportance(args []string) error {
 	repeats := fs.Int("repeats", 5, "permutation repeats")
 	seed := fs.Uint64("seed", 7, "permutation seed")
 	workers := workersFlag(fs)
+	df := addDistFlags(fs)
 	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := df.validate(); err != nil {
+		return err
+	}
 	sched.SetWorkers(*workers)
 	if err := obsf.start(args); err != nil {
 		return err
 	}
 	return obsf.finish(func() error {
-		model, err := loadModel(*modelPath)
-		if err != nil {
-			return err
-		}
-		ds, err := loadDataset(*data)
-		if err != nil {
-			return err
+		if df.isWorker() {
+			return df.runWorker(obsf, *workers)
 		}
 		obsf.setDataset(*data)
 		obsf.setSeed(*seed)
 		obsf.setWorkers(sched.Workers(*workers))
-		im, err := sensitivity.PermutationImportance(model, ds, sensitivity.Options{Repeats: *repeats, Seed: *seed, Workers: *workers})
-		if err != nil {
-			return err
+		var im *sensitivity.Importance
+		if df.isCoordinator() {
+			ctx, cancel := signalContext()
+			defer cancel()
+			var err error
+			im, _, err = jobs.CoordinateImportance(ctx, df.options(obsf), *modelPath, *data, *repeats, *seed)
+			if err != nil {
+				return err
+			}
+		} else {
+			model, err := loadModel(*modelPath)
+			if err != nil {
+				return err
+			}
+			ds, err := loadDataset(*data)
+			if err != nil {
+				return err
+			}
+			im, err = sensitivity.PermutationImportance(model, ds, sensitivity.Options{Repeats: *repeats, Seed: *seed, Workers: *workers})
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Printf("%-20s", "feature")
 		for _, n := range im.TargetNames {
@@ -64,16 +83,19 @@ func cmdSelect(args []string) error {
 	seed := fs.Uint64("seed", 13, "seed")
 	layouts := fs.String("candidates", "4;8;16;32;16,8", "semicolon-separated hidden layouts (each comma-separated)")
 	workers := workersFlag(fs)
+	df := addDistFlags(fs)
 	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := df.validate(); err != nil {
+		return err
+	}
 	sched.SetWorkers(*workers)
 	if err := obsf.start(args); err != nil {
 		return err
 	}
 	return obsf.finish(func() error {
-		ds, err := loadDataset(*data)
-		if err != nil {
-			return err
+		if df.isWorker() {
+			return df.runWorker(obsf, *workers)
 		}
 		obsf.setDataset(*data)
 		obsf.setSeed(*seed)
@@ -87,14 +109,29 @@ func cmdSelect(args []string) error {
 			}
 			candidates = append(candidates, layout)
 		}
-		base, err := modelConfig("16", *epochs, *seed)
-		if err != nil {
-			return err
-		}
-		base.Trace = obsf.trace()
-		sel, err := core.SelectNodeCount(ds, base, candidates, *k, *seed)
-		if err != nil {
-			return err
+		var sel *core.SelectionResult
+		if df.isCoordinator() {
+			ctx, cancel := signalContext()
+			defer cancel()
+			var err error
+			sel, _, err = jobs.CoordinateSelect(ctx, df.options(obsf), *data, candidates, *k, *epochs, *seed)
+			if err != nil {
+				return err
+			}
+		} else {
+			ds, err := loadDataset(*data)
+			if err != nil {
+				return err
+			}
+			base, err := modelConfig("16", *epochs, *seed)
+			if err != nil {
+				return err
+			}
+			base.Trace = obsf.trace()
+			sel, err = core.SelectNodeCount(ds, base, candidates, *k, *seed)
+			if err != nil {
+				return err
+			}
 		}
 		obsf.metric("best_error", sel.Best.Error)
 		fmt.Printf("%-14s %10s %12s\n", "hidden", "params", "CV error")

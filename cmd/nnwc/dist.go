@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"nnwc/internal/dist"
+	"nnwc/internal/dist/jobs"
+)
+
+// distFlags bundles the distributed-execution flags the experiment
+// subcommands (crossval, compare, surface, importance, select) share:
+//
+//   - -coordinator ADDR shards the experiment over HTTP: the process
+//     serves the job on ADDR, workers pull leases, and the reduced result
+//     prints exactly as a local run's would — bit-identical output.
+//   - -worker URL turns the process into a worker for the coordinator at
+//     URL; all job kinds are served regardless of which subcommand
+//     launched the worker.
+//
+// Neither flag set means the subcommand runs locally, as always.
+type distFlags struct {
+	coordinator *string
+	worker      *string
+	state       *string
+	leaseSize   *int
+	leaseTTL    *time.Duration
+	cache       *string
+}
+
+// addDistFlags registers the -coordinator/-worker flag family on fs.
+func addDistFlags(fs *flag.FlagSet) *distFlags {
+	df := &distFlags{}
+	df.coordinator = fs.String("coordinator", "", "coordinate this experiment over HTTP on ADDR (e.g. :9000); workers connect with -worker")
+	df.worker = fs.String("worker", "", "run as a worker for the coordinator at URL (host:port accepted) instead of running the experiment")
+	df.state = fs.String("dist-state", "", "coordinator journal for resumable runs (default: <run dir>/"+dist.StateFileName+" when -trace is on)")
+	df.leaseSize = fs.Int("dist-lease", 0, "tasks per work lease (0 = auto)")
+	df.leaseTTL = fs.Duration("dist-lease-ttl", 0, "lease time-to-live before tasks are reassigned (0 = 60s default)")
+	df.cache = fs.String("dist-cache", "", "worker-side artifact cache directory (default: a fresh temp dir)")
+	return df
+}
+
+func (df *distFlags) isWorker() bool      { return *df.worker != "" }
+func (df *distFlags) isCoordinator() bool { return *df.coordinator != "" }
+
+// validate rejects contradictory modes before any work starts.
+func (df *distFlags) validate() error {
+	if df.isWorker() && df.isCoordinator() {
+		return fmt.Errorf("-coordinator and -worker are mutually exclusive")
+	}
+	return nil
+}
+
+// signalContext is a context canceled by SIGINT/SIGTERM, so a Ctrl-C'd
+// coordinator or worker exits cleanly instead of abandoning leases late.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// runWorker drives one worker process to job completion. The subcommand's
+// -workers flag bounds in-lease task parallelism.
+func (df *distFlags) runWorker(obsf *obsFlags, workers int) error {
+	ctx, cancel := signalContext()
+	defer cancel()
+	w, err := jobs.NewWorker(dist.WorkerConfig{
+		Coordinator: *df.worker,
+		CacheDir:    *df.cache,
+		Parallelism: workers,
+		Logf:        obsf.infof,
+	})
+	if err != nil {
+		return err
+	}
+	return w.Run(ctx)
+}
+
+// options assembles the coordinator-side jobs.Options from the flags and
+// the observability context: progress lines go through -quiet, and a
+// traced run defaults its resume journal into the run directory so
+// `nnwc runs show` can report distributed progress.
+func (df *distFlags) options(obsf *obsFlags) jobs.Options {
+	opt := jobs.Options{
+		Addr:      *df.coordinator,
+		LeaseSize: *df.leaseSize,
+		LeaseTTL:  *df.leaseTTL,
+		StateFile: *df.state,
+		Logf:      obsf.infof,
+	}
+	if dir := obsf.runDir(); dir != "" {
+		opt.JobID = filepath.Base(dir)
+		if opt.StateFile == "" {
+			opt.StateFile = filepath.Join(dir, dist.StateFileName)
+		}
+	}
+	return opt
+}
+
+// runDir reports the active -trace run directory ("" when tracing is off).
+func (o *obsFlags) runDir() string {
+	if o.run != nil {
+		return o.run.Dir
+	}
+	return ""
+}

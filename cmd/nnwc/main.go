@@ -23,7 +23,13 @@
 // Subcommands with parallel phases (crossval, compare, surface, select,
 // importance) accept -workers (default GOMAXPROCS) to bound the
 // deterministic scheduler's concurrency; outputs are bit-identical at
-// every setting.
+// every setting. The same subcommands also shard across processes and
+// machines: start a coordinator with -coordinator ADDR and any number of
+// workers with -worker URL (plus -dist-state FILE for resumable runs,
+// -dist-lease N, -dist-lease-ttl DUR, -dist-cache DIR). Distribution
+// never changes results — every task's seed derives from (seed, index)
+// and reductions replay in index order, so the distributed output is
+// byte-identical to a local run's.
 package main
 
 import (
@@ -103,6 +109,12 @@ long-running subcommands share three observability flags:
   -trace DIR       record a JSONL event trace + provenance manifest under DIR
   -quiet           suppress progress chatter (results still print)
   -pprof-addr ADDR serve /debug/pprof, /debug/vars and /metrics on ADDR
+
+experiment subcommands (crossval, compare, surface, importance, select)
+also distribute across processes/machines, with bit-identical results:
+  -coordinator ADDR  serve the experiment's tasks on ADDR and reduce results
+  -worker URL        pull and execute tasks from the coordinator at URL
+  -dist-state FILE   journal completed tasks; restarting resumes, not recomputes
 
 run 'nnwc <subcommand> -h' for flags.`)
 }

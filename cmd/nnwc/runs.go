@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"nnwc/internal/dist"
 	"nnwc/internal/obs"
 	"nnwc/internal/stats"
 )
@@ -185,6 +186,17 @@ func runsShow(base, id string) error {
 		for _, k := range sortedKeys(m.Metrics) {
 			fmt.Printf("  %-18s %g\n", k, m.Metrics[k])
 		}
+	}
+
+	if sum, err := dist.ReadStateSummary(filepath.Join(dir, dist.StateFileName)); err == nil {
+		fmt.Printf("dist:       %s job, %d/%d tasks journaled", sum.Kind, sum.Completed+sum.Failed, sum.Total)
+		if sum.Failed > 0 {
+			fmt.Printf(" (%d failed)", sum.Failed)
+		}
+		if sum.Completed+sum.Failed < sum.Total {
+			fmt.Printf(" — resumable with -dist-state %s", filepath.Join(dir, dist.StateFileName))
+		}
+		fmt.Println()
 	}
 
 	f, err := os.Open(filepath.Join(dir, obs.TraceFileName))

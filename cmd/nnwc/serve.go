@@ -130,6 +130,9 @@ func cmdServeRun(obsf *obsFlags, cfg serve.Config, drainDur time.Duration) error
 	for {
 		select {
 		case err := <-serveErr:
+			if err == nil {
+				return nil // clean close initiated elsewhere
+			}
 			return fmt.Errorf("serve: listener failed: %w", err)
 		case sig := <-sigCh:
 			if sig == syscall.SIGHUP {

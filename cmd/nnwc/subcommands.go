@@ -11,18 +11,14 @@ import (
 	"strings"
 
 	"nnwc/internal/core"
-	"nnwc/internal/linear"
-	"nnwc/internal/nn"
+	"nnwc/internal/dist/jobs"
 	"nnwc/internal/obs"
 	"nnwc/internal/plot"
-	"nnwc/internal/poly"
 	"nnwc/internal/recommend"
 	"nnwc/internal/rng"
 	"nnwc/internal/sched"
-	"nnwc/internal/stats"
 	"nnwc/internal/surface"
 	"nnwc/internal/threetier"
-	"nnwc/internal/train"
 	"nnwc/internal/workload"
 )
 
@@ -116,16 +112,10 @@ func warnUndefined(undefined []string) {
 	}
 }
 
+// modelConfig delegates to the jobs package so the local CLI path and a
+// distributed worker derive identical configs from identical flag values.
 func modelConfig(hidden string, epochs int, seed uint64) (core.Config, error) {
-	sizes, err := parseInts(hidden)
-	if err != nil {
-		return core.Config{}, fmt.Errorf("parsing -hidden: %w", err)
-	}
-	tc := train.DefaultConfig()
-	if epochs > 0 {
-		tc.MaxEpochs = epochs
-	}
-	return core.Config{Hidden: sizes, Train: &tc, Seed: seed}, nil
+	return jobs.ModelConfig(hidden, epochs, seed)
 }
 
 func cmdDatagen(args []string) error {
@@ -246,16 +236,19 @@ func cmdCrossval(args []string) error {
 	epochs := fs.Int("epochs", 2000, "max training epochs")
 	seed := fs.Uint64("seed", 99, "shuffle/init seed")
 	workers := workersFlag(fs)
+	df := addDistFlags(fs)
 	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := df.validate(); err != nil {
+		return err
+	}
 	sched.SetWorkers(*workers)
 	if err := obsf.start(args); err != nil {
 		return err
 	}
 	return obsf.finish(func() error {
-		ds, err := loadDataset(*data)
-		if err != nil {
-			return err
+		if df.isWorker() {
+			return df.runWorker(obsf, *workers)
 		}
 		obsf.setDataset(*data)
 		obsf.setSeed(*seed)
@@ -263,51 +256,72 @@ func cmdCrossval(args []string) error {
 		obsf.setConfig("hidden", *hidden)
 		obsf.setConfig("epochs", *epochs)
 		obsf.setConfig("k", *k)
-		cfg, err := modelConfig(*hidden, *epochs, *seed)
-		if err != nil {
-			return err
-		}
-		cfg.Trace = obsf.trace()
-		cv, err := core.CrossValidateWorkers(ds, cfg, *k, *seed, *workers)
-		if err != nil {
-			return err
+		var cv *core.CVResult
+		if df.isCoordinator() {
+			ctx, cancel := signalContext()
+			defer cancel()
+			var err error
+			cv, _, err = jobs.CoordinateCrossval(ctx, df.options(obsf), *data, *k, *hidden, *epochs, *seed)
+			if err != nil {
+				return err
+			}
+		} else {
+			ds, err := loadDataset(*data)
+			if err != nil {
+				return err
+			}
+			cfg, err := modelConfig(*hidden, *epochs, *seed)
+			if err != nil {
+				return err
+			}
+			cfg.Trace = obsf.trace()
+			cv, err = core.CrossValidateWorkers(ds, cfg, *k, *seed, *workers)
+			if err != nil {
+				return err
+			}
 		}
 		obsf.metric("overall_error", cv.OverallError())
-		fmt.Printf("%-8s", "trial")
-		for _, n := range cv.TargetNames {
-			fmt.Printf(" %22s", n)
-		}
-		fmt.Println()
-		undefined := map[string]bool{}
-		for i, tr := range cv.Trials {
-			fmt.Printf("%-8d", i+1)
-			for j, e := range tr.Errors {
-				fmt.Printf(" %s", fmtPct(e, 21, 1))
-				if math.IsNaN(e) {
-					undefined[cv.TargetNames[j]] = true
-				}
-			}
-			fmt.Println()
-		}
-		fmt.Printf("%-8s", "average")
-		for _, e := range cv.Averages {
-			fmt.Printf(" %s", fmtPct(e, 21, 1))
-		}
-		if math.IsNaN(cv.OverallAccuracy()) {
-			fmt.Printf("\noverall prediction accuracy: n/a (no indicator has a defined error)\n")
-		} else {
-			fmt.Printf("\noverall prediction accuracy: %.1f%%\n", cv.OverallAccuracy()*100)
-		}
-		if len(undefined) > 0 {
-			names := make([]string, 0, len(undefined))
-			for n := range undefined {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			warnUndefined(names)
-		}
+		printCVResult(cv)
 		return nil
 	}())
+}
+
+// printCVResult renders the Table 2 trial/average grid — one printer for
+// the local and distributed paths, whose CVResults are bit-identical.
+func printCVResult(cv *core.CVResult) {
+	fmt.Printf("%-8s", "trial")
+	for _, n := range cv.TargetNames {
+		fmt.Printf(" %22s", n)
+	}
+	fmt.Println()
+	undefined := map[string]bool{}
+	for i, tr := range cv.Trials {
+		fmt.Printf("%-8d", i+1)
+		for j, e := range tr.Errors {
+			fmt.Printf(" %s", fmtPct(e, 21, 1))
+			if math.IsNaN(e) {
+				undefined[cv.TargetNames[j]] = true
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-8s", "average")
+	for _, e := range cv.Averages {
+		fmt.Printf(" %s", fmtPct(e, 21, 1))
+	}
+	if math.IsNaN(cv.OverallAccuracy()) {
+		fmt.Printf("\noverall prediction accuracy: n/a (no indicator has a defined error)\n")
+	} else {
+		fmt.Printf("\noverall prediction accuracy: %.1f%%\n", cv.OverallAccuracy()*100)
+	}
+	if len(undefined) > 0 {
+		names := make([]string, 0, len(undefined))
+		for n := range undefined {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		warnUndefined(names)
+	}
 }
 
 func cmdPredict(args []string) error {
@@ -346,13 +360,20 @@ func cmdSurface(args []string) error {
 	yr := fs.String("yrange", "8:24:9", "y grid lo:hi:n")
 	csvOut := fs.String("csv", "", "optional CSV output path")
 	workers := workersFlag(fs)
+	df := addDistFlags(fs)
 	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := df.validate(); err != nil {
+		return err
+	}
 	sched.SetWorkers(*workers)
 	if err := obsf.start(args); err != nil {
 		return err
 	}
 	return obsf.finish(func() error {
+		if df.isWorker() {
+			return df.runWorker(obsf, *workers)
+		}
 		model, err := loadModel(*modelPath)
 		if err != nil {
 			return err
@@ -373,7 +394,14 @@ func cmdSurface(args []string) error {
 			return err
 		}
 		sl := surface.Slice{Fixed: fixedVec, XIndex: *xi, YIndex: *yi, XValues: xs, YValues: ys, Output: *output}
-		grid, err := surface.EvaluateTraced(model, sl, model.InputDim(), model.OutputDim(), *workers, obsf.trace())
+		var grid *surface.Grid
+		if df.isCoordinator() {
+			ctx, cancel := signalContext()
+			defer cancel()
+			grid, _, err = jobs.CoordinateSurface(ctx, df.options(obsf), *modelPath, sl)
+		} else {
+			grid, err = surface.EvaluateTraced(model, sl, model.InputDim(), model.OutputDim(), *workers, obsf.trace())
+		}
 		if err != nil {
 			return err
 		}
@@ -499,13 +527,45 @@ func cmdCompare(args []string) error {
 	epochs := fs.Int("epochs", 2000, "MLP training epochs")
 	seed := fs.Uint64("seed", 99, "seed")
 	workers := workersFlag(fs)
+	df := addDistFlags(fs)
 	obsf := addObsFlags(fs)
 	fs.Parse(args)
+	if err := df.validate(); err != nil {
+		return err
+	}
 	sched.SetWorkers(*workers)
 	if err := obsf.start(args); err != nil {
 		return err
 	}
-	return obsf.finish(cmdCompareRun(obsf, *data, *k, *hidden, *epochs, *seed, *workers))
+	return obsf.finish(func() error {
+		if df.isWorker() {
+			return df.runWorker(obsf, *workers)
+		}
+		if df.isCoordinator() {
+			obsf.setDataset(*data)
+			obsf.setSeed(*seed)
+			obsf.setConfig("k", *k)
+			ctx, cancel := signalContext()
+			defer cancel()
+			means, _, err := jobs.CoordinateCompare(ctx, df.options(obsf), *data, *k, *hidden, *epochs, *seed)
+			if err != nil {
+				return err
+			}
+			printFamilyMeans(obsf, means)
+			return nil
+		}
+		return cmdCompareRun(obsf, *data, *k, *hidden, *epochs, *seed, *workers)
+	}())
+}
+
+// printFamilyMeans renders the §4 family table and records its metrics —
+// one printer for the local and distributed comparison paths.
+func printFamilyMeans(obsf *obsFlags, means []jobs.FamilyMean) {
+	fmt.Printf("%-12s %12s\n", "model", "mean HMRE")
+	for _, fm := range means {
+		fmt.Printf("%-12s %11.2f%%\n", fm.Name, fm.Mean*100)
+		obsf.metric("hmre_"+fm.Name, fm.Mean)
+	}
 }
 
 func cmdCompareRun(obsf *obsFlags, data string, k int, hidden string, epochs int, seed uint64, workers int) error {
@@ -517,39 +577,9 @@ func cmdCompareRun(obsf *obsFlags, data string, k int, hidden string, epochs int
 	obsf.setSeed(seed)
 	obsf.setWorkers(sched.Workers(workers))
 	obsf.setConfig("k", k)
-	mlpCfg, err := modelConfig(hidden, epochs, seed)
+	fams, err := jobs.CompareFamilies(hidden, epochs)
 	if err != nil {
 		return err
-	}
-	lnnCfg := mlpCfg
-	lnnCfg.HiddenActivation = nn.LogCompress{}
-
-	type fam struct {
-		name string
-		fit  func(tr *workload.Dataset, seed uint64) (core.Predictor, error)
-	}
-	fams := []fam{
-		// A whisker of ridge keeps the solve alive when a swept feature is
-		// constant in the data (a pinned parameter makes OLS singular).
-		{"linear", func(tr *workload.Dataset, _ uint64) (core.Predictor, error) {
-			return linear.Fit(tr.Xs(), tr.Ys(), linear.Options{Lambda: 1e-8})
-		}},
-		{"poly2+int", func(tr *workload.Dataset, _ uint64) (core.Predictor, error) {
-			return poly.Fit(poly.Polynomial{Degree: 2, Interactions: true}, tr.Xs(), tr.Ys(), poly.Options{Lambda: 1e-4, Standardize: true})
-		}},
-		{"log", func(tr *workload.Dataset, _ uint64) (core.Predictor, error) {
-			return poly.Fit(poly.Logarithmic{}, tr.Xs(), tr.Ys(), poly.Options{Lambda: 1e-8})
-		}},
-		{"mlp", func(tr *workload.Dataset, s uint64) (core.Predictor, error) {
-			cfg := mlpCfg
-			cfg.Seed = s
-			return core.Fit(tr, cfg)
-		}},
-		{"lnn", func(tr *workload.Dataset, s uint64) (core.Predictor, error) {
-			cfg := lnnCfg
-			cfg.Seed = s
-			return core.Fit(tr, cfg)
-		}},
 	}
 
 	shuffled := ds.Clone()
@@ -567,19 +597,13 @@ func cmdCompareRun(obsf *obsFlags, data string, k int, hidden string, epochs int
 		slot := fork.Slot(idx)
 		span := slot.StartSpan("compare-cell", idx, w)
 		defer span.End()
-		trainSet, valSet := shuffled.TrainValidation(folds, f)
-		model, err := fams[fi].fit(trainSet, seed+uint64(f))
-		if err != nil {
-			return 0, fmt.Errorf("%s fold %d: %w", fams[fi].name, f+1, err)
-		}
-		ev, err := core.Evaluate(model, valSet)
+		mean, err := jobs.CompareCell(shuffled, folds, fams, k, seed, idx)
 		if err != nil {
 			return 0, err
 		}
-		mean := stats.MeanSkipNaN(ev.HMRE)
 		if slot.Enabled() {
 			slot.Emit("compare_cell",
-				obs.String("family", fams[fi].name),
+				obs.String("family", fams[fi].Name),
 				obs.Int("fold", f),
 				obs.Float("mean_hmre", mean),
 			)
@@ -590,14 +614,14 @@ func cmdCompareRun(obsf *obsFlags, data string, k int, hidden string, epochs int
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %12s\n", "model", "mean HMRE")
+	means := make([]jobs.FamilyMean, len(fams))
 	for fi, fm := range fams {
 		var errSum float64
 		for f := 0; f < k; f++ {
 			errSum += cells[fi*k+f]
 		}
-		fmt.Printf("%-12s %11.2f%%\n", fm.name, errSum/float64(k)*100)
-		obsf.metric("hmre_"+fm.name, errSum/float64(k))
+		means[fi] = jobs.FamilyMean{Name: fm.Name, Mean: errSum / float64(k)}
 	}
+	printFamilyMeans(obsf, means)
 	return nil
 }

@@ -6,6 +6,7 @@
 //     (MaxBatch=1) vs coalesced, at 1 and -clients concurrent clients
 //     (default max(32, 2*GOMAXPROCS)) — requests/sec plus client-observed
 //     p50/p99 latency.
+//
 //   - inproc scenarios: producers submitting straight into the coalescer
 //     (no HTTP stack), isolating what micro-batching itself buys — one
 //     channel rendezvous, pool acquisition, and forward-call setup per

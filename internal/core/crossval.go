@@ -69,11 +69,8 @@ func CrossValidateWorkers(ds *workload.Dataset, cfg Config, k int, seed uint64, 
 		return nil, err
 	}
 
-	res := &CVResult{
-		TargetNames: append([]string(nil), ds.TargetNames...),
-		Trials:      make([]Trial, k),
-		Averages:    make([]float64, ds.NumTargets()),
-	}
+	targetNames := append([]string(nil), ds.TargetNames...)
+	trials := make([]Trial, k)
 	if cfg.Trace.Enabled() {
 		cfg.Trace.Emit("cv_start",
 			obs.Int("folds", k),
@@ -90,32 +87,19 @@ func CrossValidateWorkers(ds *workload.Dataset, cfg Config, k int, seed uint64, 
 		slot := fork.Slot(f)
 		span := slot.StartSpan("cv-fold", f, w)
 		defer span.End()
-		trainSet, valSet := shuffled.TrainValidation(folds, f)
-		trialCfg := cfg
-		trialCfg.Seed = sched.FoldSeed(seed, f)
-		trialCfg.Trace = slot
-		model, err := Fit(trainSet, trialCfg)
+		trial, err := cvTrial(shuffled, folds, cfg, seed, f, slot)
 		if err != nil {
-			return fmt.Errorf("core: trial %d: %w", f+1, err)
+			return err
 		}
-		ev, err := Evaluate(model, valSet)
-		if err != nil {
-			return fmt.Errorf("core: trial %d evaluation: %w", f+1, err)
-		}
-		res.Trials[f] = Trial{
-			Model:  model,
-			Train:  trainSet,
-			Val:    valSet,
-			Errors: ev.HMRE,
-		}
+		trials[f] = trial
 		if slot.Enabled() {
-			fields := make([]obs.Field, 0, 3+len(ev.HMRE))
+			fields := make([]obs.Field, 0, 3+len(trial.Errors))
 			fields = append(fields,
 				obs.Int("fold", f),
-				obs.String("stop_reason", string(model.TrainResult.Reason)),
-				obs.Float("mean_hmre", stats.MeanSkipNaN(ev.HMRE)))
-			for j, e := range ev.HMRE {
-				fields = append(fields, obs.Float("hmre_"+res.TargetNames[j], e))
+				obs.String("stop_reason", string(trial.Model.TrainResult.Reason)),
+				obs.Float("mean_hmre", stats.MeanSkipNaN(trial.Errors)))
+			for j, e := range trial.Errors {
+				fields = append(fields, obs.Float("hmre_"+targetNames[j], e))
 			}
 			slot.Emit("fold", fields...)
 		}
@@ -125,15 +109,75 @@ func CrossValidateWorkers(ds *workload.Dataset, cfg Config, k int, seed uint64, 
 	if err != nil {
 		return nil, err
 	}
-	// Reduce in ascending fold order — the same floating-point summation
-	// order as the historical serial loop, whatever the worker count.
-	// Undefined (NaN) trials are left out of an indicator's average
-	// rather than poisoning it.
+	res := ReduceTrials(targetNames, trials)
+	if cfg.Trace.Enabled() {
+		fields := make([]obs.Field, 0, 1+len(res.Averages))
+		fields = append(fields, obs.Float("overall_error", res.OverallError()))
+		for j, a := range res.Averages {
+			fields = append(fields, obs.Float("avg_hmre_"+res.TargetNames[j], a))
+		}
+		cfg.Trace.Emit("cv_summary", fields...)
+	}
+	return res, nil
+}
+
+// cvTrial trains and evaluates fold f against the pre-shuffled dataset:
+// the per-fold unit both the local scheduler and the distributed plane
+// execute. The fold's seed derives only from (seed, f), so the trial is
+// location-independent.
+func cvTrial(shuffled *workload.Dataset, folds [][]int, cfg Config, seed uint64, f int, slot *obs.Trace) (Trial, error) {
+	trainSet, valSet := shuffled.TrainValidation(folds, f)
+	trialCfg := cfg
+	trialCfg.Seed = sched.FoldSeed(seed, f)
+	trialCfg.Trace = slot
+	model, err := Fit(trainSet, trialCfg)
+	if err != nil {
+		return Trial{}, fmt.Errorf("core: trial %d: %w", f+1, err)
+	}
+	ev, err := Evaluate(model, valSet)
+	if err != nil {
+		return Trial{}, fmt.Errorf("core: trial %d evaluation: %w", f+1, err)
+	}
+	return Trial{Model: model, Train: trainSet, Val: valSet, Errors: ev.HMRE}, nil
+}
+
+// CrossValidateFold computes fold `fold` of the k-fold protocol in
+// isolation: the same shuffle, fold split, per-fold seed, training and
+// evaluation CrossValidateWorkers performs for that fold. This is the
+// task unit the distributed experiment plane ships to workers — its
+// Errors are bit-identical to fold `fold`'s slot in a local run.
+func CrossValidateFold(ds *workload.Dataset, cfg Config, k int, seed uint64, fold int) (Trial, error) {
+	if ds == nil || ds.Len() == 0 {
+		return Trial{}, fmt.Errorf("core: cross-validation needs a non-empty dataset")
+	}
+	shuffled := ds.Clone()
+	shuffled.Shuffle(rng.New(seed))
+	folds, err := shuffled.KFold(k)
+	if err != nil {
+		return Trial{}, err
+	}
+	if fold < 0 || fold >= k {
+		return Trial{}, fmt.Errorf("core: fold %d out of range [0,%d)", fold, k)
+	}
+	return cvTrial(shuffled, folds, cfg, seed, fold, nil)
+}
+
+// ReduceTrials assembles a CVResult from per-fold trials, averaging each
+// indicator in ascending fold order — the same floating-point summation
+// order as the historical serial loop, whatever computed the folds (local
+// workers or remote machines). Undefined (NaN) trials are left out of an
+// indicator's average rather than poisoning it.
+func ReduceTrials(targetNames []string, trials []Trial) *CVResult {
+	res := &CVResult{
+		TargetNames: targetNames,
+		Trials:      trials,
+		Averages:    make([]float64, len(targetNames)),
+	}
 	for j := range res.Averages {
 		var sum float64
 		defined := 0
-		for f := 0; f < k; f++ {
-			e := res.Trials[f].Errors[j]
+		for f := range trials {
+			e := trials[f].Errors[j]
 			if math.IsNaN(e) {
 				continue
 			}
@@ -146,13 +190,5 @@ func CrossValidateWorkers(ds *workload.Dataset, cfg Config, k int, seed uint64, 
 			res.Averages[j] = sum / float64(defined)
 		}
 	}
-	if cfg.Trace.Enabled() {
-		fields := make([]obs.Field, 0, 1+len(res.Averages))
-		fields = append(fields, obs.Float("overall_error", res.OverallError()))
-		for j, a := range res.Averages {
-			fields = append(fields, obs.Float("avg_hmre_"+res.TargetNames[j], a))
-		}
-		cfg.Trace.Emit("cv_summary", fields...)
-	}
-	return res, nil
+	return res
 }

@@ -110,6 +110,7 @@ func (e *Ensemble) PredictAll(xs [][]float64) [][]float64 {
 // order, then divides once — the same floating-point sequence as Predict,
 // so the two are bit-identical row for row. The returned matrix is w-owned
 // scratch.
+//
 //nnwc:hotpath
 func (e *Ensemble) PredictMatrix(X *mat.Matrix, w *PredictWorkspace) *mat.Matrix {
 	if w.sub == nil {

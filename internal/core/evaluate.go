@@ -123,6 +123,7 @@ func gatherColumns(p Predictor, ds *workload.Dataset, sc *evalScratch) error {
 // gatherMatrix is gatherColumns' fast path: configurations stage into the
 // scratch input matrix, one PredictMatrix call evaluates the whole dataset,
 // and the outputs transpose into the per-target columns.
+//
 //nnwc:hotpath
 func gatherMatrix(mp MatrixPredictor, ds *workload.Dataset, sc *evalScratch) error {
 	m := ds.NumTargets()

@@ -61,6 +61,7 @@ func (m *F32Model) PredictAll(xs [][]float64) [][]float64 {
 // round once into w.x32, run the f32 batch, and the outputs widen back for
 // inverse scaling. Row for row the values are bit-identical to Predict.
 // The returned matrix is w-owned scratch.
+//
 //nnwc:hotpath
 func (m *F32Model) PredictMatrix(X *mat.Matrix, w *PredictWorkspace) *mat.Matrix {
 	w.xstd.Reshape(X.Rows, X.Cols)

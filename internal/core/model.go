@@ -297,6 +297,7 @@ var predictPool = sched.NewPool(newPredictWorkspace)
 // without allocating, writing standardized inputs, activations and
 // native-unit outputs into w. Row for row the values are bit-identical to
 // Predict. The returned matrix is w-owned scratch.
+//
 //nnwc:hotpath
 func (m *NNModel) PredictMatrix(X *mat.Matrix, w *PredictWorkspace) *mat.Matrix {
 	w.xstd.Reshape(X.Rows, X.Cols)

@@ -35,39 +35,64 @@ func SelectNodeCount(ds *workload.Dataset, base Config, candidates [][]int, k in
 	}
 	res := &SelectionResult{}
 	for _, hidden := range candidates {
-		if len(hidden) == 0 {
-			return nil, errors.New("core: empty hidden layout in candidates")
-		}
-		cfg := base
-		cfg.Hidden = hidden
-		cv, err := CrossValidate(ds, cfg, k, seed)
+		cand, err := ScoreTopology(ds, base, hidden, k, seed)
 		if err != nil {
-			return nil, fmt.Errorf("core: scoring topology %v: %w", hidden, err)
+			return nil, err
 		}
-		// Parameter count of the full topology.
-		params := 0
-		prev := ds.NumFeatures()
-		for _, h := range hidden {
-			params += prev*h + h
-			prev = h
-		}
-		params += prev*ds.NumTargets() + ds.NumTargets()
-
-		res.Candidates = append(res.Candidates, NodeCountResult{
-			Hidden: append([]int(nil), hidden...),
-			Error:  cv.OverallError(),
-			Params: params,
-		})
+		res.Candidates = append(res.Candidates, cand)
 		if base.Trace.Enabled() {
 			base.Trace.Emit("select_candidate",
 				obs.String("hidden", fmt.Sprint(hidden)),
-				obs.Int("params", params),
-				obs.Float("error", cv.OverallError()),
+				obs.Int("params", cand.Params),
+				obs.Float("error", cand.Error),
 			)
 		}
 	}
-	best := res.Candidates[0]
-	for _, c := range res.Candidates[1:] {
+	res.Best = PickBest(res.Candidates)
+	return res, nil
+}
+
+// ScoreTopology scores one candidate hidden layout by k-fold
+// cross-validation — the per-candidate unit the distributed experiment
+// plane ships to workers. Every candidate uses the same base config and
+// seed, so scores are independent of what else is being scored or where.
+func ScoreTopology(ds *workload.Dataset, base Config, hidden []int, k int, seed uint64) (NodeCountResult, error) {
+	if len(hidden) == 0 {
+		return NodeCountResult{}, errors.New("core: empty hidden layout in candidates")
+	}
+	cfg := base
+	cfg.Hidden = hidden
+	cv, err := CrossValidate(ds, cfg, k, seed)
+	if err != nil {
+		return NodeCountResult{}, fmt.Errorf("core: scoring topology %v: %w", hidden, err)
+	}
+	return NodeCountResult{
+		Hidden: append([]int(nil), hidden...),
+		Error:  cv.OverallError(),
+		Params: CountParams(ds.NumFeatures(), hidden, ds.NumTargets()),
+	}, nil
+}
+
+// CountParams is the trainable-parameter count of a topology.
+func CountParams(in int, hidden []int, out int) int {
+	params := 0
+	prev := in
+	for _, h := range hidden {
+		params += prev*h + h
+		prev = h
+	}
+	return params + prev*out + out
+}
+
+// PickBest applies the selection rule to scored candidates: lowest error
+// wins, with ties in error (within 2% relative) breaking toward fewer
+// parameters — §3.3's preference for flexible, loosely fitted models.
+// Candidate order matters only for exact ties, so callers must pass
+// candidates in their declared order (the distributed reducer does: its
+// results are index-addressed).
+func PickBest(candidates []NodeCountResult) NodeCountResult {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
 		switch {
 		case c.Error < best.Error*0.98:
 			best = c
@@ -75,6 +100,5 @@ func SelectNodeCount(ds *workload.Dataset, base Config, candidates [][]int, k in
 			best = c
 		}
 	}
-	res.Best = best
-	return res, nil
+	return best
 }

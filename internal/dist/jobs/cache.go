@@ -1,0 +1,150 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"nnwc/internal/core"
+	"nnwc/internal/dist"
+	"nnwc/internal/sensitivity"
+	"nnwc/internal/surface"
+	"nnwc/internal/workload"
+)
+
+// artifactCache memoizes the parsed form of fetched artifacts per process:
+// every task in a lease (and every lease of a job) shares one dataset and
+// one model. Content addressing makes entries immutable, so the cache
+// never invalidates; consumers must Clone before mutating (the fold and
+// cell units already do).
+type artifactCache struct {
+	mu        sync.Mutex
+	datasets  map[string]*workload.Dataset
+	models    map[string]*core.NNModel
+	baselines map[string]*importanceBaseline
+}
+
+// importanceBaseline caches sensitivity.Baseline per (model, dataset)
+// pair — every feature task rescoring against it recomputes nothing.
+type importanceBaseline struct {
+	base   []float64
+	actual [][]float64
+}
+
+var sharedCache = &artifactCache{
+	datasets:  make(map[string]*workload.Dataset),
+	models:    make(map[string]*core.NNModel),
+	baselines: make(map[string]*importanceBaseline),
+}
+
+func artifactSHA(spec dist.Spec, role string) (string, error) {
+	sha, ok := spec.Artifacts[role]
+	if !ok || sha == "" {
+		return "", fmt.Errorf("jobs: %s job ships no %q artifact", spec.Kind, role)
+	}
+	return sha, nil
+}
+
+// dataset resolves and parses the job's dataset artifact, memoized by
+// content hash. The returned dataset is shared — clone before mutating.
+func (c *artifactCache) dataset(ctx context.Context, env dist.Env, spec dist.Spec) (*workload.Dataset, error) {
+	sha, err := artifactSHA(spec, RoleDataset)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ds, ok := c.datasets[sha]; ok {
+		return ds, nil
+	}
+	path, err := env.ArtifactPath(ctx, sha)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := workload.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: parsing dataset %s: %w", sha, err)
+	}
+	c.datasets[sha] = ds
+	return ds, nil
+}
+
+// model resolves and parses the job's model artifact, memoized by content
+// hash. Models are read-only through Predict, so sharing is safe.
+func (c *artifactCache) model(ctx context.Context, env dist.Env, spec dist.Spec) (*core.NNModel, error) {
+	sha, err := artifactSHA(spec, RoleModel)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.models[sha]; ok {
+		return m, nil
+	}
+	path, err := env.ArtifactPath(ctx, sha)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.LoadModelFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: loading model %s: %w", sha, err)
+	}
+	c.models[sha] = m
+	return m, nil
+}
+
+// baseline resolves the importance job's model and dataset and computes
+// (or recalls) the unpermuted-RMSE baseline every feature task scores
+// against. Keyed by the (model, dataset) hash pair, so a job's N feature
+// tasks run one baseline pass, not N.
+func (c *artifactCache) baseline(ctx context.Context, env dist.Env, spec dist.Spec) (*core.NNModel, *workload.Dataset, []float64, [][]float64, error) {
+	model, err := c.model(ctx, env, spec)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	ds, err := c.dataset(ctx, env, spec)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	key := spec.Artifacts[RoleModel] + "/" + spec.Artifacts[RoleDataset]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.baselines[key]; ok {
+		return model, ds, b.base, b.actual, nil
+	}
+	base, actual, err := sensitivity.Baseline(model, ds)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	c.baselines[key] = &importanceBaseline{base: base, actual: actual}
+	return model, ds, base, actual, nil
+}
+
+// probeSurfaceRow reconstructs the surface slice from the wire config and
+// evaluates grid row `index` — the same row EvaluateTraced would fill.
+func probeSurfaceRow(model *core.NNModel, cfg SurfaceConfig, index int) ([]float64, error) {
+	sl := surface.Slice{
+		Fixed:   cfg.Fixed,
+		XIndex:  cfg.XIndex,
+		YIndex:  cfg.YIndex,
+		XValues: cfg.XValues,
+		YValues: cfg.YValues,
+		Output:  cfg.Output,
+	}
+	if err := sl.Validate(model.InputDim(), model.OutputDim()); err != nil {
+		return nil, err
+	}
+	return surface.ProbeRow(model, sl, model.InputDim(), index)
+}
+
+// scoreImportanceFeature scores one feature with the same options the
+// local PermutationImportance loop derives from the CLI flags.
+func scoreImportanceFeature(model *core.NNModel, ds *workload.Dataset, base []float64, actual [][]float64, index, repeats int, seed uint64) []float64 {
+	return sensitivity.ScoreFeature(model, ds, base, actual, index, sensitivity.Options{Repeats: repeats, Seed: seed})
+}

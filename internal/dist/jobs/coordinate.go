@@ -1,0 +1,324 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"nnwc/internal/core"
+	"nnwc/internal/dist"
+	"nnwc/internal/httpx"
+	"nnwc/internal/obs"
+	"nnwc/internal/sensitivity"
+	"nnwc/internal/surface"
+	"nnwc/internal/workload"
+)
+
+// Options parameterizes the coordinator side of a distributed experiment.
+// Zero values defer to dist.CoordinatorConfig defaults.
+type Options struct {
+	// Addr is the coordinator listen address (e.g. ":9000").
+	Addr string
+	// JobID names the run in the spec (informational; usually the obs run
+	// ID). Excluded from the resume fingerprint.
+	JobID string
+	// LeaseSize, LeaseTTL, LingerAfterDone: see dist.CoordinatorConfig.
+	LeaseSize       int
+	LeaseTTL        time.Duration
+	LingerAfterDone time.Duration
+	// StateFile journals completed tasks for resume; "" disables.
+	StateFile string
+	// Timeouts harden the coordinator's HTTP listener.
+	Timeouts httpx.Timeouts
+	// Logf receives progress lines (nil is silent).
+	Logf func(format string, args ...any)
+	// OnStart, when set, is called with the bound address once the
+	// coordinator is listening — the hook tests use to spawn workers.
+	OnStart func(addr string)
+}
+
+// coordinate runs one job to completion: build the coordinator, serve,
+// wait, and hand back the index-ordered payloads plus per-job stats.
+func coordinate(ctx context.Context, opt Options, spec dist.Spec, paths map[string]string) ([]json.RawMessage, dist.Stats, error) {
+	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Addr:            opt.Addr,
+		Spec:            spec,
+		ArtifactPaths:   paths,
+		LeaseSize:       opt.LeaseSize,
+		LeaseTTL:        opt.LeaseTTL,
+		LingerAfterDone: opt.LingerAfterDone,
+		StateFile:       opt.StateFile,
+		Timeouts:        opt.Timeouts,
+		Logf:            opt.Logf,
+	})
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	if err := c.Start(); err != nil {
+		return nil, dist.Stats{}, err
+	}
+	if opt.OnStart != nil {
+		opt.OnStart(c.Addr())
+	}
+	payloads, err := c.Wait(ctx)
+	return payloads, c.CoordStats(), err
+}
+
+func decodePayload(payloads []json.RawMessage, index int, out any) error {
+	if err := json.Unmarshal(payloads[index], out); err != nil {
+		return fmt.Errorf("jobs: decoding task %d payload: %w", index, err)
+	}
+	return nil
+}
+
+// CoordinateCrossval distributes one k-fold cross-validation: one task
+// per fold, reduced with core.ReduceTrials in ascending fold order — the
+// same result CrossValidateWorkers computes locally, to the bit.
+func CoordinateCrossval(ctx context.Context, opt Options, dataPath string, k int, hidden string, epochs int, seed uint64) (*core.CVResult, dist.Stats, error) {
+	ds, sha, err := loadHashedDataset(dataPath)
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	// Fail on malformed -hidden before any worker does.
+	if _, err := ModelConfig(hidden, epochs, seed); err != nil {
+		return nil, dist.Stats{}, err
+	}
+	cfgJSON, err := json.Marshal(CrossvalConfig{K: k, Hidden: hidden, Epochs: epochs})
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	spec := dist.Spec{
+		JobID:     opt.JobID,
+		Kind:      KindCrossval,
+		Seed:      seed,
+		NumTasks:  k,
+		Config:    cfgJSON,
+		Artifacts: map[string]string{RoleDataset: sha},
+	}
+	payloads, stats, err := coordinate(ctx, opt, spec, map[string]string{sha: dataPath})
+	if err != nil {
+		return nil, stats, err
+	}
+	trials := make([]core.Trial, k)
+	for f := range trials {
+		var tr TrialResult
+		if err := decodePayload(payloads, f, &tr); err != nil {
+			return nil, stats, err
+		}
+		trials[f] = core.Trial{Errors: tr.Errors}
+	}
+	targetNames := append([]string(nil), ds.TargetNames...)
+	return core.ReduceTrials(targetNames, trials), stats, nil
+}
+
+// FamilyMean is one model family's reduced comparison score.
+type FamilyMean struct {
+	Name string
+	// Mean is the family's HMRE averaged over folds in ascending order —
+	// the same summation the local compare loop performs.
+	Mean float64
+}
+
+// CoordinateCompare distributes the §4 model-family comparison: one task
+// per (family, fold) cell, reduced per family in ascending fold order.
+func CoordinateCompare(ctx context.Context, opt Options, dataPath string, k int, hidden string, epochs int, seed uint64) ([]FamilyMean, dist.Stats, error) {
+	_, sha, err := loadHashedDataset(dataPath)
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	fams, err := CompareFamilies(hidden, epochs)
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	cfgJSON, err := json.Marshal(CompareConfig{K: k, Hidden: hidden, Epochs: epochs})
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	spec := dist.Spec{
+		JobID:     opt.JobID,
+		Kind:      KindCompare,
+		Seed:      seed,
+		NumTasks:  len(fams) * k,
+		Config:    cfgJSON,
+		Artifacts: map[string]string{RoleDataset: sha},
+	}
+	payloads, stats, err := coordinate(ctx, opt, spec, map[string]string{sha: dataPath})
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]FamilyMean, len(fams))
+	for fi, fam := range fams {
+		var errSum float64
+		for f := 0; f < k; f++ {
+			var cell CellResult
+			if err := decodePayload(payloads, fi*k+f, &cell); err != nil {
+				return nil, stats, err
+			}
+			errSum += float64(cell.Mean)
+		}
+		out[fi] = FamilyMean{Name: fam.Name, Mean: errSum / float64(k)}
+	}
+	return out, stats, nil
+}
+
+// CoordinateSurface distributes a §5 response-surface sweep: one task per
+// grid row (XValue), assembled into the Grid in row order.
+func CoordinateSurface(ctx context.Context, opt Options, modelPath string, sl surface.Slice) (*surface.Grid, dist.Stats, error) {
+	model, sha, err := loadHashedModel(modelPath)
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	if err := sl.Validate(model.InputDim(), model.OutputDim()); err != nil {
+		return nil, dist.Stats{}, err
+	}
+	cfgJSON, err := json.Marshal(SurfaceConfig{
+		Fixed:   dist.Floats(sl.Fixed),
+		XIndex:  sl.XIndex,
+		YIndex:  sl.YIndex,
+		XValues: dist.Floats(sl.XValues),
+		YValues: dist.Floats(sl.YValues),
+		Output:  sl.Output,
+	})
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	spec := dist.Spec{
+		JobID:     opt.JobID,
+		Kind:      KindSurface,
+		NumTasks:  len(sl.XValues),
+		Config:    cfgJSON,
+		Artifacts: map[string]string{RoleModel: sha},
+	}
+	payloads, stats, err := coordinate(ctx, opt, spec, map[string]string{sha: modelPath})
+	if err != nil {
+		return nil, stats, err
+	}
+	z := make([][]float64, len(sl.XValues))
+	for i := range z {
+		var row RowResult
+		if err := decodePayload(payloads, i, &row); err != nil {
+			return nil, stats, err
+		}
+		z[i] = row.Z
+	}
+	return &surface.Grid{Slice: sl, Z: z}, stats, nil
+}
+
+// CoordinateImportance distributes permutation feature importance: one
+// task per feature, each scoring against the worker-side shared baseline.
+func CoordinateImportance(ctx context.Context, opt Options, modelPath, dataPath string, repeats int, seed uint64) (*sensitivity.Importance, dist.Stats, error) {
+	_, modelSHA, err := loadHashedModel(modelPath)
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	ds, dataSHA, err := loadHashedDataset(dataPath)
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	cfgJSON, err := json.Marshal(ImportanceConfig{Repeats: repeats})
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	spec := dist.Spec{
+		JobID:     opt.JobID,
+		Kind:      KindImportance,
+		Seed:      seed,
+		NumTasks:  ds.NumFeatures(),
+		Config:    cfgJSON,
+		Artifacts: map[string]string{RoleModel: modelSHA, RoleDataset: dataSHA},
+	}
+	payloads, stats, err := coordinate(ctx, opt, spec, map[string]string{modelSHA: modelPath, dataSHA: dataPath})
+	if err != nil {
+		return nil, stats, err
+	}
+	im := &sensitivity.Importance{
+		FeatureNames: append([]string(nil), ds.FeatureNames...),
+		TargetNames:  append([]string(nil), ds.TargetNames...),
+		Scores:       make([][]float64, ds.NumFeatures()),
+	}
+	for i := range im.Scores {
+		var sc ScoresResult
+		if err := decodePayload(payloads, i, &sc); err != nil {
+			return nil, stats, err
+		}
+		im.Scores[i] = sc.Scores
+	}
+	return im, stats, nil
+}
+
+// CoordinateSelect distributes topology selection: one task per candidate
+// hidden layout, reduced with core.PickBest over the declared order.
+func CoordinateSelect(ctx context.Context, opt Options, dataPath string, candidates [][]int, k, epochs int, seed uint64) (*core.SelectionResult, dist.Stats, error) {
+	if len(candidates) == 0 {
+		return nil, dist.Stats{}, fmt.Errorf("jobs: no candidate topologies")
+	}
+	_, sha, err := loadHashedDataset(dataPath)
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	cfgJSON, err := json.Marshal(SelectConfig{K: k, Epochs: epochs, Candidates: candidates})
+	if err != nil {
+		return nil, dist.Stats{}, err
+	}
+	spec := dist.Spec{
+		JobID:     opt.JobID,
+		Kind:      KindSelect,
+		Seed:      seed,
+		NumTasks:  len(candidates),
+		Config:    cfgJSON,
+		Artifacts: map[string]string{RoleDataset: sha},
+	}
+	payloads, stats, err := coordinate(ctx, opt, spec, map[string]string{sha: dataPath})
+	if err != nil {
+		return nil, stats, err
+	}
+	res := &core.SelectionResult{Candidates: make([]core.NodeCountResult, len(candidates))}
+	for i, hidden := range candidates {
+		var cand CandidateResult
+		if err := decodePayload(payloads, i, &cand); err != nil {
+			return nil, stats, err
+		}
+		res.Candidates[i] = core.NodeCountResult{
+			Hidden: append([]int(nil), hidden...),
+			Error:  float64(cand.Error),
+			Params: cand.Params,
+		}
+	}
+	res.Best = core.PickBest(res.Candidates)
+	return res, stats, nil
+}
+
+// loadHashedDataset opens the coordinator-local dataset and fingerprints
+// its bytes — the content address workers fetch it by.
+func loadHashedDataset(path string) (*workload.Dataset, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	ds, err := workload.ReadCSV(f)
+	if err != nil {
+		return nil, "", fmt.Errorf("jobs: parsing dataset %s: %w", path, err)
+	}
+	sha, err := obs.HashFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return ds, sha, nil
+}
+
+// loadHashedModel loads the coordinator-local model and fingerprints its
+// bytes.
+func loadHashedModel(path string) (*core.NNModel, string, error) {
+	model, err := core.LoadModelFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	sha, err := obs.HashFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return model, sha, nil
+}

@@ -1,0 +1,23 @@
+package dist
+
+import "nnwc/internal/obs/metrics"
+
+// Dist counters live on the shared obs registry so `-pprof-addr`'s
+// /metrics endpoint (and anything else scraping metrics.Default())
+// exposes them alongside the sched/train/serve series.
+var (
+	leasesTotal = metrics.Default().Counter("nnwc_dist_leases_total",
+		"work leases granted by the coordinator")
+	reassignedTotal = metrics.Default().Counter("nnwc_dist_reassigned_tasks_total",
+		"tasks reclaimed from expired leases and requeued")
+	duplicatesTotal = metrics.Default().Counter("nnwc_dist_duplicate_results_total",
+		"duplicate result deliveries dropped by the idempotent index-addressed store")
+	resumedTotal = metrics.Default().Counter("nnwc_dist_resumed_tasks_total",
+		"tasks skipped at coordinator startup because the state journal already held their results")
+	resultsTotal = metrics.Default().CounterVec("nnwc_dist_results_total",
+		"results accepted by the coordinator, by reporting worker", "worker")
+	taskMillis = metrics.Default().SummaryVec("nnwc_dist_task_ms",
+		"worker-reported per-task wall time in milliseconds", 512, []string{"worker"}, 0.5, 0.99)
+	workerTasksTotal = metrics.Default().Counter("nnwc_dist_worker_tasks_total",
+		"tasks executed by this process's dist workers")
+)

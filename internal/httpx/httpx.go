@@ -1,0 +1,70 @@
+// Package httpx is the one place the repo constructs http.Servers. Every
+// listener — the serve plane, the dist coordinator, debug endpoints —
+// goes through NewServer so no server ships without connection timeouts:
+// a slow or stalled client must never be able to pin a connection (and
+// its goroutine) forever.
+package httpx
+
+import (
+	"net/http"
+	"time"
+)
+
+// Timeouts bounds a server's per-connection I/O. Zero fields take the
+// production defaults below; a negative field disables that timeout
+// explicitly (use sparingly — streaming endpoints only).
+type Timeouts struct {
+	// ReadHeader bounds reading one request's header block (default 5s).
+	ReadHeader time.Duration
+	// Read bounds reading one whole request, body included (default 30s).
+	Read time.Duration
+	// Write bounds writing one whole response (default 30s).
+	Write time.Duration
+	// Idle bounds how long a keep-alive connection may sit between
+	// requests (default 120s).
+	Idle time.Duration
+}
+
+// Default production values. Request/response bodies in this repo are
+// small JSON documents or model artifacts of at most a few MB, so 30s of
+// I/O is generous; 120s idle matches common load-balancer keep-alives.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultWriteTimeout      = 30 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+)
+
+// WithDefaults resolves zero fields to the defaults and negative fields
+// to 0 (net/http's "no timeout").
+func (t Timeouts) WithDefaults() Timeouts {
+	t.ReadHeader = resolve(t.ReadHeader, DefaultReadHeaderTimeout)
+	t.Read = resolve(t.Read, DefaultReadTimeout)
+	t.Write = resolve(t.Write, DefaultWriteTimeout)
+	t.Idle = resolve(t.Idle, DefaultIdleTimeout)
+	return t
+}
+
+func resolve(v, def time.Duration) time.Duration {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// NewServer returns an http.Server for h with every connection timeout
+// set. Callers bind their own listener and call Serve, which keeps
+// address selection (and "127.0.0.1:0" in tests) with the caller.
+func NewServer(h http.Handler, t Timeouts) *http.Server {
+	t = t.WithDefaults()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}

@@ -1,0 +1,36 @@
+package httpx
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestNewServerDefaults(t *testing.T) {
+	s := NewServer(http.NewServeMux(), Timeouts{})
+	if s.ReadHeaderTimeout != DefaultReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %s, want %s", s.ReadHeaderTimeout, DefaultReadHeaderTimeout)
+	}
+	if s.ReadTimeout != DefaultReadTimeout {
+		t.Errorf("ReadTimeout = %s, want %s", s.ReadTimeout, DefaultReadTimeout)
+	}
+	if s.WriteTimeout != DefaultWriteTimeout {
+		t.Errorf("WriteTimeout = %s, want %s", s.WriteTimeout, DefaultWriteTimeout)
+	}
+	if s.IdleTimeout != DefaultIdleTimeout {
+		t.Errorf("IdleTimeout = %s, want %s", s.IdleTimeout, DefaultIdleTimeout)
+	}
+}
+
+func TestNewServerOverridesAndDisable(t *testing.T) {
+	s := NewServer(nil, Timeouts{Read: time.Minute, Write: -1})
+	if s.ReadTimeout != time.Minute {
+		t.Errorf("ReadTimeout = %s, want 1m", s.ReadTimeout)
+	}
+	if s.WriteTimeout != 0 {
+		t.Errorf("negative Write should disable the timeout, got %s", s.WriteTimeout)
+	}
+	if s.IdleTimeout != DefaultIdleTimeout {
+		t.Errorf("IdleTimeout = %s, want default", s.IdleTimeout)
+	}
+}

@@ -13,6 +13,7 @@ type Matrix32 struct {
 // Reshape reuses m's backing array as a rows×cols view, growing the backing
 // only when its capacity is insufficient — the same grow-on-first-use
 // contract as Matrix.Reshape. Returns m.
+//
 //nnwc:hotpath
 func (m *Matrix32) Reshape(rows, cols int) *Matrix32 {
 	if rows <= 0 || cols <= 0 {
@@ -29,6 +30,7 @@ func (m *Matrix32) Reshape(rows, cols int) *Matrix32 {
 }
 
 // Row returns a view (not a copy) of row i.
+//
 //nnwc:hotpath
 func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
@@ -37,6 +39,7 @@ func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
 
 // CopyRowsF64 quantizes a rectangular [][]float64 into m, reshaping it to
 // fit. Each element is rounded once to the nearest float32.
+//
 //nnwc:hotpath
 func (m *Matrix32) CopyRowsF64(rows [][]float64) *Matrix32 {
 	if len(rows) == 0 || len(rows[0]) == 0 {
@@ -57,6 +60,7 @@ func (m *Matrix32) CopyRowsF64(rows [][]float64) *Matrix32 {
 
 // dotSeed2F32 is the float32 twin of dotSeed2: two seeded dot products
 // against a shared left operand, 4x-unrolled, one accumulator each.
+//
 //nnwc:hotpath
 func dotSeed2F32(s0, s1 float32, a, b0, b1 []float32) (float32, float32) {
 	b0 = b0[:len(a)]
@@ -81,6 +85,7 @@ func dotSeed2F32(s0, s1 float32, a, b0, b1 []float32) (float32, float32) {
 
 // DotSeed32 returns s + Σᵢ a[i]·b[i] over float32 vectors, accumulated in
 // ascending order onto the single float32 accumulator s.
+//
 //nnwc:hotpath
 func DotSeed32(s float32, a, b []float32) float32 {
 	b = b[:len(a)]
@@ -102,6 +107,7 @@ func DotSeed32(s float32, a, b []float32) float32 {
 // the same blocking, pairing, and ascending-k single-accumulator order —
 // so the f32 inference path is deterministic in its own right. bias may be
 // nil. Returns dst reshaped to a.Rows×b.Rows.
+//
 //nnwc:hotpath
 func MulTransBiasInto32(dst, a, b *Matrix32, bias []float32) *Matrix32 {
 	if a.Cols != b.Cols || (bias != nil && len(bias) != b.Rows) {

@@ -9,6 +9,7 @@ package mat
 // only when its capacity is insufficient. Existing contents are preserved up
 // to the new length when no growth occurs and are otherwise unspecified;
 // callers treat a reshaped matrix as uninitialized scratch. Returns m.
+//
 //nnwc:hotpath
 func (m *Matrix) Reshape(rows, cols int) *Matrix {
 	if rows <= 0 || cols <= 0 {
@@ -27,6 +28,7 @@ func (m *Matrix) Reshape(rows, cols int) *Matrix {
 // RowRange returns a view of rows [lo, hi) sharing m's backing array
 // (possibly empty when lo == hi). Mutations through the view are visible in
 // m. The view is returned by value so hot loops can keep it on the stack.
+//
 //nnwc:hotpath
 func (m *Matrix) RowRange(lo, hi int) Matrix {
 	if lo < 0 || hi > m.Rows || lo > hi {
@@ -53,6 +55,7 @@ func (m *Matrix) CopyRows(rows [][]float64) *Matrix {
 }
 
 // Zero sets every element of m to zero.
+//
 //nnwc:hotpath
 func (m *Matrix) Zero() {
 	for i := range m.Data {
@@ -62,6 +65,7 @@ func (m *Matrix) Zero() {
 
 // MulInto computes dst = a·b without allocating. dst must not alias a or b;
 // it is reshaped to a.Rows×b.Cols. Returns dst.
+//
 //nnwc:hotpath
 func MulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
@@ -87,6 +91,7 @@ func MulInto(dst, a, b *Matrix) *Matrix {
 // product (samples × features)·(outputs × features)ᵀ. Both operands are
 // walked row-contiguously through the tiled kernel. dst must not alias a or
 // b; it is reshaped to a.Rows×b.Rows. Returns dst.
+//
 //nnwc:hotpath
 func MulTransInto(dst, a, b *Matrix) *Matrix {
 	return MulTransBiasInto(dst, a, b, nil)
@@ -96,6 +101,7 @@ func MulTransInto(dst, a, b *Matrix) *Matrix {
 // product (samples × outputs)ᵀ·(samples × inputs) summed over the sample
 // axis in ascending row order. dst must not alias a or b; it is reshaped to
 // a.Cols×b.Cols. Returns dst.
+//
 //nnwc:hotpath
 func MulTransLeftInto(dst, a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
@@ -119,6 +125,7 @@ func MulTransLeftInto(dst, a, b *Matrix) *Matrix {
 
 // MulVecInto computes dst = m·x without allocating. dst must have length
 // m.Rows and must not alias x. Returns dst.
+//
 //nnwc:hotpath
 func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
 	if m.Cols != len(x) || m.Rows != len(dst) {
@@ -132,6 +139,7 @@ func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
 
 // AddScaledInto computes dst += alpha·src element-wise over whole matrices.
 // The shapes must match.
+//
 //nnwc:hotpath
 func AddScaledInto(dst *Matrix, alpha float64, src *Matrix) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {

@@ -32,6 +32,7 @@ const (
 // left operand in one sweep: s0 + Σ a·b0 and s1 + Σ a·b1. Each accumulator
 // sees the same ascending addition order as a standalone DotSeed, so the
 // pairing is bit-identical to two sequential calls.
+//
 //nnwc:hotpath
 func dotSeed2(s0, s1 float64, a, b0, b1 []float64) (float64, float64) {
 	b0 = b0[:len(a)]
@@ -59,6 +60,7 @@ func dotSeed2(s0, s1 float64, a, b0, b1 []float64) (float64, float64) {
 // plus a per-output bias, accumulated bias-first in ascending k exactly like
 // the per-sample perceptron loop. bias may be nil for a plain a·bᵀ. dst must
 // not alias a or b; it is reshaped to a.Rows×b.Rows. Returns dst.
+//
 //nnwc:hotpath
 func MulTransBiasInto(dst, a, b *Matrix, bias []float64) *Matrix {
 	if a.Cols != b.Cols || (bias != nil && len(bias) != b.Rows) {
@@ -103,6 +105,7 @@ func MulTransBiasInto(dst, a, b *Matrix, bias []float64) *Matrix {
 // backprop path, so scale = 1/N reproduces the classic mean-gradient epoch
 // bit-for-bit. dw and db are accumulated into, not overwritten. delta is
 // batch×outputs, in is batch×inputs, dw outputs×inputs, db len outputs.
+//
 //nnwc:hotpath
 func GradAccumInto(dw *Matrix, db []float64, delta, in *Matrix, scale float64) {
 	if delta.Rows != in.Rows || dw.Rows != delta.Cols || dw.Cols != in.Cols || len(db) != delta.Cols {

@@ -173,6 +173,7 @@ func (m *Matrix) String() string {
 // Dot returns the inner product of two equal-length vectors. The loop is
 // 4x-unrolled onto a single accumulator, so the addition sequence — and
 // therefore every rounding step — is identical to the plain ascending loop.
+//
 //nnwc:hotpath
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
@@ -186,6 +187,7 @@ func Dot(a, b []float64) float64 {
 // bias-first affine kernels (a perceptron's Σ wⱼxⱼ starts from its bias).
 // a and b must have equal length; the 4x unrolling preserves the exact
 // addition sequence of the plain loop.
+//
 //nnwc:hotpath
 func DotSeed(s float64, a, b []float64) float64 {
 	b = b[:len(a)] // one bounds proof for the whole loop
@@ -203,6 +205,7 @@ func DotSeed(s float64, a, b []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of v.
+//
 //nnwc:hotpath
 func Norm2(v []float64) float64 {
 	var s float64
@@ -214,6 +217,7 @@ func Norm2(v []float64) float64 {
 
 // AXPY computes y += alpha*x in place. Elements are independent, so the 4x
 // unrolling cannot change any rounding.
+//
 //nnwc:hotpath
 func AXPY(alpha float64, x, y []float64) {
 	if len(x) != len(y) {

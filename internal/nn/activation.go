@@ -124,6 +124,7 @@ func (LogCompress) Name() string { return "logcompress" }
 // the concrete activation once per row so the hot loop uses direct,
 // inlinable calls instead of per-element interface dispatch; the arithmetic
 // is identical to calling Eval per element.
+//
 //nnwc:hotpath
 func EvalRow(act Activation, pre, out []float64) {
 	out = out[:len(pre)]
@@ -156,6 +157,7 @@ func EvalRow(act Activation, pre, out []float64) {
 // ScaleByDeriv multiplies dst[i] by act.Deriv(pre[i], y[i]) — the
 // back-propagation step that folds the activation derivative into a delta
 // row — with the same once-per-row devirtualization as EvalRow.
+//
 //nnwc:hotpath
 func ScaleByDeriv(act Activation, pre, y, dst []float64) {
 	pre, y = pre[:len(dst)], y[:len(dst)]

@@ -43,6 +43,7 @@ func (ws *BatchWorkspace) ensure(n *Network, batch int) {
 // Row r of every returned matrix is bit-identical to what the per-sample
 // ForwardTrace produces for X.Row(r): the batched kernels accumulate in the
 // same order, so batching is a pure throughput optimization.
+//
 //nnwc:hotpath
 func (n *Network) ForwardTraceBatch(X *mat.Matrix, ws *BatchWorkspace) (acts, pres []*mat.Matrix) {
 	if X.Cols != n.InputDim() {
@@ -67,6 +68,7 @@ func (n *Network) ForwardTraceBatch(X *mat.Matrix, ws *BatchWorkspace) (acts, pr
 
 // ForwardBatch runs the network on every row of X and returns the output
 // matrix (one prediction per row), a view into ws valid until its next use.
+//
 //nnwc:hotpath
 func (n *Network) ForwardBatch(X *mat.Matrix, ws *BatchWorkspace) *mat.Matrix {
 	acts, _ := n.ForwardTraceBatch(X, ws)

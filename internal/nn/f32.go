@@ -110,6 +110,7 @@ func (ws *BatchWorkspace32) ensure(f *NetworkF32, batch int) {
 // arithmetic runs in float64 (one widening per element, one rounding back),
 // so the f32 path reuses the exact math.Exp/Tanh code paths of the f64
 // kernels and differs from them only by the float32 roundings.
+//
 //nnwc:hotpath
 func EvalRow32(act Activation, pre, out []float32) {
 	out = out[:len(pre)]
@@ -142,6 +143,7 @@ func EvalRow32(act Activation, pre, out []float32) {
 // ForwardBatch runs the quantized network on every row of X and returns the
 // output matrix, a view into ws valid until its next use. Steady-state
 // calls perform zero allocation.
+//
 //nnwc:hotpath
 func (f *NetworkF32) ForwardBatch(X *mat.Matrix32, ws *BatchWorkspace32) *mat.Matrix32 {
 	if X.Cols != f.InputDim() {

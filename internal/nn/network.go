@@ -64,6 +64,7 @@ func (l *Layer) Forward(x []float64) (out, pre []float64) {
 // devirtualized once per row. The seeded dot accumulates bias-first in
 // ascending j, matching the batched mat.MulTransBiasInto kernel bit for
 // bit.
+//
 //nnwc:hotpath
 func (l *Layer) forwardInto(x, out, pre []float64) {
 	wd, off := l.W.Data, 0

@@ -119,6 +119,13 @@ func HashFile(path string) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// HashBytes is HashFile for in-memory content: the hex SHA-256 used to
+// content-address artifacts and fingerprint distributed job specs.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
 // fillToolchain stamps the Go toolchain, VCS revision and hostname.
 func (m *Manifest) fillToolchain() {
 	m.GoVersion = runtime.Version()

@@ -213,6 +213,7 @@ func (id *Identity) Dims() int { return id.dims }
 // concrete type once per row like nn.EvalRow; unknown Scaler implementations
 // fall back to the allocating Transform. The arithmetic per element is
 // identical to Transform. dst may alias row.
+//
 //nnwc:hotpath
 func TransformInto(s Scaler, dst, row []float64) {
 	if len(dst) != len(row) {
@@ -246,6 +247,7 @@ func transformFallback(s Scaler, dst, row []float64) {
 
 // InverseInto undoes TransformInto into caller-owned dst with the same
 // devirtualization and zero-allocation contract. dst may alias row.
+//
 //nnwc:hotpath
 func InverseInto(s Scaler, dst, row []float64) {
 	if len(dst) != len(row) {

@@ -69,6 +69,30 @@ func FoldSeed(base uint64, i int) uint64 { return base + uint64(i)*foldStride }
 // permutation stream) from the base seed.
 func TaskSeed(base uint64, i int) uint64 { return base + uint64(i)*taskStride }
 
+// Shard partitions the index space [0, n) into contiguous [lo, hi) ranges
+// of at most size indexes — the lease unit the distributed coordinator
+// hands to workers. Because every task's seed derives from its absolute
+// index (FoldSeed/TaskSeed), a shard carries everything a remote worker
+// needs: results do not depend on which process computes which range.
+// size <= 0 yields one range covering everything; n <= 0 yields none.
+func Shard(n, size int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = n
+	}
+	shards := make([][2]int, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		shards = append(shards, [2]int{lo, hi})
+	}
+	return shards
+}
+
 // ForEach runs task(i) for every i in [0, n) on at most `workers`
 // goroutines (use Workers to resolve a request first). Workers pull task
 // indices from a shared counter, so all worker counts execute the same

@@ -61,17 +61,42 @@ func PermutationImportance(p core.Predictor, ds *workload.Dataset, opt Options) 
 		return nil, errors.New("sensitivity: need at least 2 samples")
 	}
 	opt = opt.defaults()
-	n := ds.NumFeatures()
-	m := ds.NumTargets()
+	base, actual, err := Baseline(p, ds)
+	if err != nil {
+		return nil, err
+	}
+	im := &Importance{
+		FeatureNames: append([]string(nil), ds.FeatureNames...),
+		TargetNames:  append([]string(nil), ds.TargetNames...),
+		Scores:       make([][]float64, ds.NumFeatures()),
+	}
+	// Features score concurrently; feature i's permutations come from a
+	// stream derived from (Seed, i), so the score matrix is identical at
+	// any worker count.
+	err = sched.ForEach(sched.Workers(opt.Workers), ds.NumFeatures(), func(i int) error {
+		im.Scores[i] = ScoreFeature(p, ds, base, actual, i, opt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return im, nil
+}
 
-	// Baseline RMSE per indicator.
-	base := make([]float64, m)
-	actual := make([][]float64, m)
+// Baseline computes each indicator's unpermuted RMSE (floored at 1e-12
+// when exactly zero, so a perfect fit's "infinite" degradation stays
+// finite) plus the actual-value columns the permuted passes re-score
+// against. Deterministic in (p, ds) — a distributed worker recomputes
+// the identical baseline from the shipped artifacts.
+func Baseline(p core.Predictor, ds *workload.Dataset) (base []float64, actual [][]float64, err error) {
+	m := ds.NumTargets()
+	base = make([]float64, m)
+	actual = make([][]float64, m)
 	pred := make([][]float64, m)
 	for _, s := range ds.Samples {
 		out := p.Predict(s.X)
 		if len(out) != m {
-			return nil, errors.New("sensitivity: predictor output does not match dataset targets")
+			return nil, nil, errors.New("sensitivity: predictor output does not match dataset targets")
 		}
 		for j := 0; j < m; j++ {
 			actual[j] = append(actual[j], s.Y[j])
@@ -84,48 +109,44 @@ func PermutationImportance(p core.Predictor, ds *workload.Dataset, opt Options) 
 			base[j] = 1e-12 // perfect fit: any degradation is "infinite"; cap via epsilon
 		}
 	}
+	return base, actual, nil
+}
 
-	im := &Importance{
-		FeatureNames: append([]string(nil), ds.FeatureNames...),
-		TargetNames:  append([]string(nil), ds.TargetNames...),
-		Scores:       make([][]float64, n),
-	}
-	// Features score concurrently; feature i's permutations come from a
-	// stream derived from (Seed, i), so the score matrix is identical at
-	// any worker count.
-	err := sched.ForEach(sched.Workers(opt.Workers), n, func(i int) error {
-		src := rng.New(sched.TaskSeed(opt.Seed, i))
-		xbuf := make([]float64, n)
-		scores := make([]float64, m)
-		col := ds.FeatureColumn(i)
-		for rep := 0; rep < opt.Repeats; rep++ {
-			perm := src.Perm(len(col))
-			permPred := make([][]float64, m)
-			for r, s := range ds.Samples {
-				copy(xbuf, s.X)
-				xbuf[i] = col[perm[r]]
-				out := p.Predict(xbuf)
-				for j := 0; j < m; j++ {
-					permPred[j] = append(permPred[j], out[j])
-				}
-			}
+// ScoreFeature scores feature i against every indicator: the mean
+// relative RMSE increase over opt.Repeats permutations, clamped at 0.
+// The permutation stream derives only from (opt.Seed, i), so the score
+// vector is identical whether computed locally or on a remote worker —
+// the per-feature unit the distributed experiment plane ships.
+func ScoreFeature(p core.Predictor, ds *workload.Dataset, base []float64, actual [][]float64, i int, opt Options) []float64 {
+	opt = opt.defaults()
+	n := ds.NumFeatures()
+	m := ds.NumTargets()
+	src := rng.New(sched.TaskSeed(opt.Seed, i))
+	xbuf := make([]float64, n)
+	scores := make([]float64, m)
+	col := ds.FeatureColumn(i)
+	for rep := 0; rep < opt.Repeats; rep++ {
+		perm := src.Perm(len(col))
+		permPred := make([][]float64, m)
+		for r, s := range ds.Samples {
+			copy(xbuf, s.X)
+			xbuf[i] = col[perm[r]]
+			out := p.Predict(xbuf)
 			for j := 0; j < m; j++ {
-				rmse := stats.RMSE(actual[j], permPred[j])
-				scores[j] += (rmse - base[j]) / base[j] / float64(opt.Repeats)
+				permPred[j] = append(permPred[j], out[j])
 			}
 		}
 		for j := 0; j < m; j++ {
-			if scores[j] < 0 {
-				scores[j] = 0 // permutation noise can dip below zero
-			}
+			rmse := stats.RMSE(actual[j], permPred[j])
+			scores[j] += (rmse - base[j]) / base[j] / float64(opt.Repeats)
 		}
-		im.Scores[i] = scores
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return im, nil
+	for j := 0; j < m; j++ {
+		if scores[j] < 0 {
+			scores[j] = 0 // permutation noise can dip below zero
+		}
+	}
+	return scores
 }
 
 // Profile is a one-dimensional partial-dependence curve: the model's mean

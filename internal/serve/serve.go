@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nnwc/internal/httpx"
 	"nnwc/internal/obs"
 	"nnwc/internal/serve/batch"
 	"nnwc/internal/serve/deploy"
@@ -80,6 +81,15 @@ type Config struct {
 	MaxWait time.Duration
 	// RequestTimeout bounds one prediction end to end (default 5s).
 	RequestTimeout time.Duration
+	// ReadTimeout, WriteTimeout and IdleTimeout bound the listener's
+	// per-connection I/O (reading one full request, writing one full
+	// response, keep-alive idle time) so a slow or stalled client cannot
+	// pin a connection forever. Zero takes the httpx defaults (30s / 30s
+	// / 120s; request headers are always bounded at 5s); a negative value
+	// disables that timeout explicitly.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
 	// Workers is the number of gather-and-infer loops per batch domain
 	// (default GOMAXPROCS).
 	Workers int
@@ -412,14 +422,17 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.ln = ln
-	s.http = &http.Server{
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
+	s.http = httpx.NewServer(s.Handler(), httpx.Timeouts{
+		Read:  s.cfg.ReadTimeout,
+		Write: s.cfg.WriteTimeout,
+		Idle:  s.cfg.IdleTimeout,
+	})
 	go func() {
-		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			s.serveErr <- err
+		err := s.http.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil // clean Shutdown-initiated close
 		}
+		s.serveErr <- err
 	}()
 	return nil
 }
@@ -432,8 +445,8 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Wait blocks until the HTTP listener fails (never returns after a clean
-// Shutdown-initiated close; use Shutdown from a signal handler for that).
+// Wait blocks until the HTTP listener stops: nil after a clean
+// Shutdown-initiated close, the serve error if the listener fails.
 func (s *Server) Wait() error { return <-s.serveErr }
 
 // Predict submits one row to the default tenant's live model — the
@@ -470,6 +483,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.http != nil {
 		err = s.http.Shutdown(ctx)
+	} else {
+		// Never started: unblock any Wait caller anyway.
+		select {
+		case s.serveErr <- nil:
+		default:
+		}
 	}
 	s.batcher.Shutdown()
 	return err

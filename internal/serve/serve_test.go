@@ -20,6 +20,11 @@ import (
 	"nnwc/internal/workload"
 )
 
+// testClient bounds every test request so a serve-plane regression that
+// stalls a response fails fast with a clear deadline error instead of
+// hanging the test (and CI) until the suite timeout.
+var testClient = &http.Client{Timeout: 10 * time.Second}
+
 // trainTestModel fits a small 2→2 model on a smooth function — fast enough
 // for a unit test, real enough to exercise scalers and the batched path.
 func trainTestModel(t *testing.T, seed uint64) *core.NNModel {
@@ -80,7 +85,7 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, string) {
 		}
 		rd = bytes.NewReader(raw)
 	}
-	resp, err := http.Post(url, "application/json", rd)
+	resp, err := testClient.Post(url, "application/json", rd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +105,7 @@ func postPredict(t *testing.T, url string, body any) (*http.Response, PredictRes
 
 func getFleet(t *testing.T, url string) FleetStatus {
 	t.Helper()
-	resp, err := http.Get(url + "/fleet")
+	resp, err := testClient.Get(url + "/fleet")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +196,7 @@ func TestServeValidation(t *testing.T) {
 		{"bad json", `{"x":[1,2`},
 	}
 	for _, c := range cases {
-		resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(c.body))
+		resp, err := testClient.Post(ts.URL+"/predict", "application/json", strings.NewReader(c.body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -456,7 +461,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := http.Post(url+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`))
+			resp, err := testClient.Post(url+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`))
 			if err != nil {
 				codes[i] = -1
 				bodies[i] = err.Error()
@@ -484,8 +489,39 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	}
 
 	// The listener is closed now: new requests must fail at the wire.
-	if _, err := http.Post(url+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`)); err == nil {
+	if _, err := testClient.Post(url+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`)); err == nil {
 		t.Fatal("request after shutdown succeeded")
+	}
+}
+
+// TestWaitReturnsAfterShutdown: a clean Shutdown must unblock Wait with a
+// nil error — the listener closing via http.ErrServerClosed is a normal
+// stop, not a failure. Regression test for the hang where Wait blocked
+// forever after drains.
+func TestWaitReturnsAfterShutdown(t *testing.T) {
+	path := writeTestModel(t, t.TempDir(), 9)
+	s, err := New(Config{ModelPath: path, Addr: "127.0.0.1:0", MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- s.Wait() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("Wait after clean Shutdown = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait still blocked 5s after a clean Shutdown")
 	}
 }
 
@@ -591,7 +627,7 @@ func TestHotReloadAtomicity(t *testing.T) {
 		if err := m.SaveFile(path); err != nil {
 			t.Fatal(err)
 		}
-		resp, err := http.Post(ts.URL+"/-/reload", "application/json", nil)
+		resp, err := testClient.Post(ts.URL+"/-/reload", "application/json", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -630,13 +666,13 @@ func TestMetricsSchema(t *testing.T) {
 		}
 	}
 	// One rejected request so the error counter shows up.
-	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"x":[1]}`))
+	resp, err := testClient.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"x":[1]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 
-	resp, err = http.Get(ts.URL + "/metrics")
+	resp, err = testClient.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -683,7 +719,7 @@ func TestHealthAndReadiness(t *testing.T) {
 		"/healthz": http.StatusOK,
 		"/readyz":  http.StatusServiceUnavailable,
 	} {
-		resp, err := http.Get(ts.URL + path)
+		resp, err := testClient.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -693,7 +729,7 @@ func TestHealthAndReadiness(t *testing.T) {
 		}
 	}
 	// Predicts are refused without a model.
-	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`))
+	resp, err := testClient.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"x":[1,2]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -704,7 +740,7 @@ func TestHealthAndReadiness(t *testing.T) {
 
 	// Draining flips readiness.
 	s.draining.Store(true)
-	resp, err = http.Get(ts.URL + "/readyz")
+	resp, err = testClient.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}

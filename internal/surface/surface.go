@@ -104,18 +104,7 @@ func EvaluateTraced(p core.Predictor, s Slice, inputDim, outputDim, workers int,
 		if fast {
 			probeRow(mp, s, s.XValues[i], inputDim, zi)
 		} else {
-			rows := make([][]float64, len(s.YValues))
-			for j, yv := range s.YValues {
-				x := make([]float64, inputDim)
-				copy(x, s.Fixed)
-				x[s.XIndex] = s.XValues[i]
-				x[s.YIndex] = yv
-				rows[j] = x
-			}
-			outs := core.PredictAll(p, rows)
-			for j := range zi {
-				zi[j] = outs[j][s.Output]
-			}
+			probeRowSlow(p, s, s.XValues[i], inputDim, zi)
 		}
 		z[i] = zi
 		return nil
@@ -132,6 +121,7 @@ func EvaluateTraced(p core.Predictor, s Slice, inputDim, outputDim, workers int,
 // scratch matrix and one PredictMatrix call answers the whole row. The
 // values are identical to the core.PredictAll fallback — both route the
 // same batched forward kernels.
+//
 //nnwc:hotpath
 func probeRow(mp core.MatrixPredictor, s Slice, xv float64, inputDim int, zi []float64) {
 	sc := probePool.Get()
@@ -147,6 +137,40 @@ func probeRow(mp core.MatrixPredictor, s Slice, xv float64, inputDim int, zi []f
 	for j := range zi {
 		zi[j] = out.At(j, s.Output)
 	}
+}
+
+// probeRowSlow is probeRow for plain Predictors: the same configuration
+// rows routed through core.PredictAll instead of the matrix kernels.
+func probeRowSlow(p core.Predictor, s Slice, xv float64, inputDim int, zi []float64) {
+	rows := make([][]float64, len(s.YValues))
+	for j, yv := range s.YValues {
+		x := make([]float64, inputDim)
+		copy(x, s.Fixed)
+		x[s.XIndex] = xv
+		x[s.YIndex] = yv
+		rows[j] = x
+	}
+	outs := core.PredictAll(p, rows)
+	for j := range zi {
+		zi[j] = outs[j][s.Output]
+	}
+}
+
+// ProbeRow evaluates grid row `row` (XValues[row] against every YValue)
+// of a validated slice — the per-row unit the distributed experiment
+// plane ships to workers. Bit-identical to row `row` of the Grid that
+// EvaluateWorkers builds: both route the same batched forward kernels.
+func ProbeRow(p core.Predictor, s Slice, inputDim, row int) ([]float64, error) {
+	if row < 0 || row >= len(s.XValues) {
+		return nil, fmt.Errorf("surface: row %d out of range [0,%d)", row, len(s.XValues))
+	}
+	zi := make([]float64, len(s.YValues))
+	if mp, fast := p.(core.MatrixPredictor); fast {
+		probeRow(mp, s, s.XValues[row], inputDim, zi)
+	} else {
+		probeRowSlow(p, s, s.XValues[row], inputDim, zi)
+	}
+	return zi, nil
 }
 
 // Min returns the grid minimum and its coordinates.

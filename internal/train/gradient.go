@@ -47,6 +47,7 @@ func NewGradients(net *nn.Network) *Gradients {
 }
 
 // Zero resets all gradient entries.
+//
 //nnwc:hotpath
 func (g *Gradients) Zero() {
 	for i := range g.Flat {
@@ -55,12 +56,14 @@ func (g *Gradients) Zero() {
 }
 
 // AddScaled accumulates s*other into g.
+//
 //nnwc:hotpath
 func (g *Gradients) AddScaled(s float64, other *Gradients) {
 	mat.AXPY(s, other.Flat, g.Flat)
 }
 
 // Scale multiplies every gradient entry by s.
+//
 //nnwc:hotpath
 func (g *Gradients) Scale(s float64) {
 	for i := range g.Flat {
@@ -134,6 +137,7 @@ func Backprop(net *nn.Network, x, y []float64, out *Gradients) float64 {
 // per-sample path, so scale = 1/N reproduces the classic mean-gradient
 // epoch bit-for-bit). It returns the summed per-sample loss Σᵣ ½‖ŷᵣ − yᵣ‖².
 // Steady-state calls perform zero per-sample allocation.
+//
 //nnwc:hotpath
 func BackpropBatch(net *nn.Network, X, Y *mat.Matrix, scale float64, ws *Workspace, out *Gradients) float64 {
 	if X.Rows != Y.Rows {
@@ -211,6 +215,7 @@ func Loss(net *nn.Network, xs, ys [][]float64) float64 {
 // LossBatch returns the mean squared-error loss of net over the rows of
 // X/Y using ws's buffers — the allocation-free batched counterpart of Loss,
 // with identical accumulation order.
+//
 //nnwc:hotpath
 func LossBatch(net *nn.Network, X, Y *mat.Matrix, ws *Workspace) float64 {
 	if X.Rows == 0 {

@@ -325,6 +325,7 @@ func (t *Trainer) Fit(net *nn.Network, xs, ys [][]float64, valX, valY [][]float6
 // optimizer step. It is the hot loop of batch training, extracted so the
 // zero-allocation guarantee of the tracing-disabled path can be pinned by
 // TestBatchEpochZeroAlloc.
+//
 //nnwc:hotpath
 func (t *Trainer) batchEpoch(net *nn.Network, batchGrad *Gradients, n int, invN float64) float64 {
 	var trainLoss float64
