@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race dist-test bench-smoke bench bench-json bench-kernels serve-bench bench-obs ci clean
+.PHONY: all build vet lint test race dist-test cluster-test bench-smoke bench bench-json bench-kernels serve-bench bench-obs ci clean
 
 all: ci
 
@@ -27,6 +27,13 @@ race:
 # final cross-validation byte-compared to the serial seed reference.
 dist-test:
 	$(GO) test -race -count 1 -v -run 'TestDist' ./internal/dist/ ./internal/dist/jobs/
+
+# Cluster observability tests (see DESIGN.md §15): merged cluster-trace
+# determinism across worker counts and across SIGKILL-plus-reassignment,
+# per-worker metrics federation, and the shared request middleware, all
+# under the race detector.
+cluster-test:
+	$(GO) test -race -count 1 -v -run 'TestClusterTrace|TestDistClusterTrace|TestCoordinatorMetricsFederation|TestInstrument' ./internal/dist/ ./internal/dist/jobs/ ./internal/httpx/
 
 # One iteration of every benchmark: catches bit-rot in the bench harnesses
 # without paying for real measurement runs.

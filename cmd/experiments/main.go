@@ -53,6 +53,16 @@ func main() {
 	if *worker != "" {
 		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer cancel()
+		// Workers profile too: this branch returns before the main pprof
+		// block below, so start the debug server here as well.
+		if *pprofAddr != "" {
+			addr, err := obs.StartDebugServer(*pprofAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: starting debug server: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("experiments: debug server on http://%s\n", addr)
+		}
 		w, err := jobs.NewWorker(dist.WorkerConfig{
 			Coordinator: *worker,
 			CacheDir:    *cache,

@@ -97,6 +97,9 @@ func (df *distFlags) options(obsf *obsFlags) jobs.Options {
 		if opt.StateFile == "" {
 			opt.StateFile = filepath.Join(dir, dist.StateFileName)
 		}
+		// A traced coordinated run also merges the workers' shipped events
+		// into one cluster trace next to the manifest, for `runs timeline`.
+		opt.ClusterTraceFile = filepath.Join(dir, dist.ClusterTraceFileName)
 	}
 	return opt
 }

@@ -14,7 +14,7 @@
 //	nnwc compare   -data data.csv [-k 5] [-workers N]
 //	nnwc serve     -model model.json | -models web=a.json,db=b.json [-addr :8080] [-max-batch 64] [-max-wait 2ms] [-workers N] [-auto-promote]
 //	nnwc fleet     list|deploy|promote|rollback [-addr URL] [-model T] [-path P] [-canary]
-//	nnwc runs      list|show|diff [-dir runs] [id...]
+//	nnwc runs      list|show|diff|timeline|tail [-dir runs] [-addr URL] [id...]
 //
 // Long-running subcommands additionally accept -trace DIR (record a JSONL
 // event trace and provenance manifest under DIR), -quiet, and -pprof-addr
@@ -103,7 +103,9 @@ subcommands:
   compare    compare linear/polynomial/log/MLP/LNN model families by CV error
   importance permutation feature importance of a trained model on a dataset
   select     automated hidden-node-count selection by cross-validation
-  runs       list, summarize and diff recorded run traces (see -trace)
+  runs       inspect recorded run traces: list, show, diff, plus the
+             distributed-run views timeline (per-worker task lanes from the
+             merged cluster trace) and tail (live coordinator progress)
 
 long-running subcommands share three observability flags:
   -trace DIR       record a JSONL event trace + provenance manifest under DIR

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"nnwc/internal/dist"
 	"nnwc/internal/obs"
@@ -20,11 +21,16 @@ import (
 func cmdRuns(args []string) error {
 	fs := flag.NewFlagSet("runs", flag.ExitOnError)
 	dir := fs.String("dir", "runs", "base directory holding run subdirectories")
+	addr := fs.String("addr", "", "tail a live coordinator at this URL instead of a run's journal")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval for runs tail")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage:
-  nnwc runs list   [-dir runs]             list recorded runs
-  nnwc runs show   [-dir runs] <id>        manifest + trace summary of one run
-  nnwc runs diff   [-dir runs] <id> <id>   compare two runs' provenance and metrics
+  nnwc runs list     [-dir runs]             list recorded runs
+  nnwc runs show     [-dir runs] <id>        manifest + trace summary of one run
+  nnwc runs diff     [-dir runs] <id> <id>   compare two runs' provenance and metrics
+  nnwc runs timeline [-dir runs] <id>        per-worker task timeline from the merged cluster trace
+  nnwc runs tail     [-dir runs] <id>        stream distributed progress from the run's journal
+  nnwc runs tail     -addr URL               stream live progress from a running coordinator
 
 ids may be unambiguous prefixes of run directory names.`)
 		fs.PrintDefaults()
@@ -52,6 +58,20 @@ ids may be unambiguous prefixes of run directory names.`)
 			return fmt.Errorf("runs diff needs exactly two run ids")
 		}
 		return runsDiff(*dir, rest[0], rest[1])
+	case "timeline":
+		if len(rest) != 1 {
+			return fmt.Errorf("runs timeline needs exactly one run id")
+		}
+		return runsTimeline(*dir, rest[0])
+	case "tail":
+		if *addr == "" && len(rest) != 1 {
+			return fmt.Errorf("runs tail needs a run id or -addr URL")
+		}
+		runID := ""
+		if len(rest) == 1 {
+			runID = rest[0]
+		}
+		return runsTail(*dir, runID, *addr, *interval)
 	default:
 		fs.Usage()
 		return fmt.Errorf("unknown runs verb %q", verb)

@@ -25,6 +25,7 @@ import (
 
 	"nnwc/internal/nn"
 	"nnwc/internal/obs"
+	"nnwc/internal/obs/metrics"
 	"nnwc/internal/rng"
 	"nnwc/internal/stats"
 	"nnwc/internal/train"
@@ -49,6 +50,10 @@ type report struct {
 	Enabled                side    `json:"tracing_enabled"`
 	OverheadPct            float64 `json:"overhead_pct"`
 	MarginalAllocsPerEpoch float64 `json:"marginal_allocs_per_epoch"`
+	// HistogramObserveNs is the unit cost of one mergeable-histogram
+	// observation — what the httpx request middleware and the dist worker
+	// pay per sample on the federation path.
+	HistogramObserveNs float64 `json:"histogram_observe_ns"`
 }
 
 // fixture is one reproducible training problem: network, data, and the
@@ -166,6 +171,18 @@ func measure(samples, epochs int, trace *obs.Trace) side {
 	}
 }
 
+// measureHistogram times one Histogram.Observe (bucket search + counter
+// bump under the histogram's mutex).
+func measureHistogram() float64 {
+	h := metrics.NewHistogram("bench_ms", "observe cost probe", metrics.DefMillisBuckets)
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i % 50000))
+		}
+	})
+	return float64(r.NsPerOp())
+}
+
 func main() {
 	var (
 		out   = flag.String("out", "BENCH_obs.json", "output JSON path")
@@ -197,6 +214,7 @@ func main() {
 		Enabled:                enabled,
 		OverheadPct:            (enabled.NsPerEpoch - disabled.NsPerEpoch) / disabled.NsPerEpoch * 100,
 		MarginalAllocsPerEpoch: enabled.AllocsPerEpoch - disabled.AllocsPerEpoch,
+		HistogramObserveNs:     measureHistogram(),
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -209,6 +227,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "obsbench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("obsbench: disabled %.0f ns/epoch, enabled %.0f ns/epoch (%+.2f%%), marginal allocs/epoch %.2f → %s\n",
-		disabled.NsPerEpoch, enabled.NsPerEpoch, rep.OverheadPct, rep.MarginalAllocsPerEpoch, *out)
+	fmt.Printf("obsbench: disabled %.0f ns/epoch, enabled %.0f ns/epoch (%+.2f%%), marginal allocs/epoch %.2f, histogram observe %.0f ns → %s\n",
+		disabled.NsPerEpoch, enabled.NsPerEpoch, rep.OverheadPct, rep.MarginalAllocsPerEpoch, rep.HistogramObserveNs, *out)
 }

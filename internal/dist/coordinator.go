@@ -7,10 +7,13 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"nnwc/internal/httpx"
+	"nnwc/internal/obs"
+	"nnwc/internal/obs/metrics"
 	"nnwc/internal/sched"
 )
 
@@ -40,6 +43,12 @@ type CoordinatorConfig struct {
 	// StateFile, when set, journals completed tasks so a restarted
 	// coordinator with the same spec skips them. "" disables resume.
 	StateFile string
+	// ClusterTraceFile, when set, is where the coordinator writes the
+	// merged cluster trace once the job completes: worker-shipped
+	// per-task event blocks in index order, framed by a deterministic
+	// header/footer and interleaved with the (volatile) lease/reassign
+	// ops narrative. "" disables trace merging.
+	ClusterTraceFile string
 	// Timeouts harden the HTTP listener (zero: httpx defaults).
 	Timeouts httpx.Timeouts
 	// Logf, when set, receives progress lines (use obs-aware printers in
@@ -107,6 +116,8 @@ type Coordinator struct {
 	failed    int
 	stats     Stats
 	journal   *stateWriter
+	rec       *clusterRecorder
+	started   time.Time
 	done      chan struct{}
 }
 
@@ -132,7 +143,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		taskErrs:    make([]string, n),
 		resolved:    make([]bool, n),
 		remaining:   n,
+		started:     time.Now(),
 		done:        make(chan struct{}),
+	}
+	if cfg.ClusterTraceFile != "" {
+		c.rec = newClusterRecorder(n)
 	}
 	if cfg.StateFile != "" {
 		entries, err := readState(cfg.StateFile, c.fingerprint)
@@ -146,6 +161,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			c.resolved[e.Index] = true
 			c.results[e.Index] = e.Payload
 			c.taskErrs[e.Index] = e.Error
+			if c.rec != nil {
+				// Journaled events survive a coordinator restart, so a
+				// resumed run still merges a complete cluster trace.
+				c.rec.taskResolved(e.Index, e.Events)
+			}
 			if e.Error != "" {
 				c.failed++
 			}
@@ -198,7 +218,10 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// Handler returns the coordinator's HTTP API (mountable in tests).
+// Handler returns the coordinator's HTTP API (mountable in tests),
+// wrapped in the shared httpx instrumentation: per-route request metrics
+// and trace-header extraction, the same middleware the serve plane
+// mounts.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /dist/job", c.handleJob)
@@ -206,10 +229,33 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /dist/result", c.handleResult)
 	mux.HandleFunc("GET /dist/artifact/{sha}", c.handleArtifact)
 	mux.HandleFunc("GET /dist/progress", c.handleProgress)
+	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	var tr *obs.Trace
+	if c.rec != nil {
+		tr = c.rec.tr
+	}
+	return httpx.Instrument(httpx.InstrumentOptions{Service: "dist", Route: distRoute, Trace: tr}, mux)
+}
+
+// distRoute collapses the content-addressed artifact path so the route
+// label space stays bounded (one label, not one per SHA-256).
+func distRoute(r *http.Request) string {
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/dist/artifact/") {
+		path = "/dist/artifact/{sha}"
+	}
+	return r.Method + " " + path
+}
+
+// handleMetrics exposes the process-wide registry — including the
+// federated per-worker and merged cluster histograms — on the
+// coordinator itself, so scraping the cluster needs one target.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.Default().Write(w)
 }
 
 // Start binds the listener and serves the protocol until Wait completes
@@ -221,7 +267,11 @@ func (c *Coordinator) Start() error {
 	}
 	c.ln = ln
 	c.http = httpx.NewServer(c.Handler(), c.cfg.Timeouts)
-	go func() { c.serveErr <- c.http.Serve(ln) }()
+	// Capture the server: close() nils c.http, and a Wait on an
+	// already-canceled context can run it before this goroutine is
+	// scheduled.
+	srv := c.http
+	go func() { c.serveErr <- srv.Serve(ln) }()
 	c.logf("dist: coordinating %q (%d tasks, lease size %d) on %s", c.cfg.Spec.Kind, c.cfg.Spec.NumTasks, c.cfg.LeaseSize, c.Addr())
 	return nil
 }
@@ -234,12 +284,26 @@ func (c *Coordinator) Addr() string {
 	return c.ln.Addr().String()
 }
 
-// Progress reports completed/failed/total task counts.
+// Progress reports completed/failed/total task counts plus the live
+// worker count and elapsed wall time `nnwc runs tail` renders.
 func (c *Coordinator) Progress() Progress {
+	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := c.cfg.Spec.NumTasks
-	return Progress{Completed: n - c.remaining - c.failed, Failed: c.failed, Total: n}
+	workers := make(map[string]struct{}, len(c.leases))
+	for _, l := range c.leases {
+		if !now.After(l.deadline) {
+			workers[l.worker] = struct{}{}
+		}
+	}
+	return Progress{
+		Completed:  n - c.remaining - c.failed,
+		Failed:     c.failed,
+		Total:      n,
+		Workers:    len(workers),
+		ElapsedSec: now.Sub(c.started).Seconds(),
+	}
 }
 
 // CoordStats snapshots the per-job protocol counters.
@@ -308,6 +372,17 @@ func (c *Coordinator) close() {
 		c.journal.close()
 		c.journal = nil
 	}
+	// Merge the cluster trace once, after Shutdown has drained the
+	// handlers (no sink can still be appending to the ops narrative) and
+	// only for a completed job — a canceled run has no coherent trace.
+	if c.rec != nil && c.remaining == 0 {
+		if err := c.rec.write(c.cfg.ClusterTraceFile, c.cfg.Spec, c.fingerprint, c.failed); err != nil {
+			c.logf("dist: writing cluster trace %s failed: %v", c.cfg.ClusterTraceFile, err)
+		} else {
+			c.logf("dist: merged cluster trace in %s", c.cfg.ClusterTraceFile)
+		}
+		c.rec = nil
+	}
 }
 
 func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -350,6 +425,9 @@ func (c *Coordinator) reclaimLocked(now time.Time) {
 	}
 	c.stats.Reassigned += uint64(len(idxs))
 	reassignedTotal.Add(uint64(len(idxs)))
+	if c.rec != nil {
+		c.rec.reassigned(len(idxs), len(expired))
+	}
 	c.logf("dist: reassigned %d task(s) from %d expired lease(s)", len(idxs), len(expired))
 }
 
@@ -359,6 +437,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	// Every lease request doubles as a metrics push: absorb the worker's
+	// cumulative snapshots into the federated series before touching the
+	// lease table (the vec has its own lock; no need for c.mu).
+	absorbWorkerMetrics(req.Worker, req.Metrics)
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -386,6 +468,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.leases[l.id] = l
 	c.stats.Leases++
 	leasesTotal.Inc()
+	if c.rec != nil {
+		c.rec.leaseGranted(req.Worker, rng[0], rng[1], l.id)
+	}
 	writeJSON(w, http.StatusOK, leaseReply{LeaseID: l.id, Lo: rng[0], Hi: rng[1]})
 }
 
@@ -416,6 +501,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	c.resolved[req.Index] = true
 	c.results[req.Index] = req.Payload
 	c.taskErrs[req.Index] = req.Error
+	if c.rec != nil {
+		c.rec.taskResolved(req.Index, req.Events)
+	}
 	if req.Error != "" {
 		c.failed++
 	}
@@ -426,7 +514,13 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		delete(l.pending, req.Index)
 	}
 	if c.journal != nil {
-		if err := c.journal.append(stateEntry{Index: req.Index, Payload: req.Payload, Error: req.Error}); err != nil {
+		entry := stateEntry{Index: req.Index, Payload: req.Payload, Error: req.Error}
+		if c.rec != nil {
+			// Events only matter to a journal when a trace is being
+			// merged; keep resume files lean otherwise.
+			entry.Events = req.Events
+		}
+		if err := c.journal.append(entry); err != nil {
 			// Journaling is best-effort resume support; the in-memory run
 			// still completes. Stop journaling rather than failing tasks.
 			c.logf("dist: state journal write failed (%v); resume disabled for this run", err)

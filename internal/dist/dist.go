@@ -24,11 +24,20 @@
 // Protocol (JSON over HTTP, served by the coordinator):
 //
 //	GET  /dist/job             → Spec (kind, seed, task count, config, artifact hashes)
-//	POST /dist/lease           {"worker":id} → {"lease_id","lo","hi"} | {"done":true} | {"retry_ms":n}
-//	POST /dist/result          {"lease_id","worker","index","payload"|"error"} → {"done","duplicate"}
+//	POST /dist/lease           {"worker":id,"metrics":{...}} → {"lease_id","lo","hi"} | {"done":true} | {"retry_ms":n}
+//	POST /dist/result          {"lease_id","worker","index","payload"|"error","events"} → {"done","duplicate"}
 //	GET  /dist/artifact/{sha}  → artifact bytes (verified by the worker)
-//	GET  /dist/progress        → {"completed","failed","total"}
+//	GET  /dist/progress        → {"completed","failed","total","workers","elapsed_sec"}
+//	GET  /metrics              → Prometheus text, including federated per-worker histograms
 //	GET  /healthz              → liveness
+//
+// Every worker request carries the httpx trace headers (X-NNWC-Run,
+// X-NNWC-Worker), so the coordinator's server-side spans attribute work
+// to cluster identities, not TCP peers. Observability rides the protocol
+// both ways: workers buffer their per-task obs events and ship them on
+// /dist/result (merged by the coordinator into one deterministic cluster
+// trace), and push cumulative histogram snapshots on every /dist/lease
+// renewal (federated into cluster-wide /metrics series).
 //
 // Completed indexes journal to an optional state file, so a restarted
 // coordinator (same spec fingerprint) skips them — resumable runs.
@@ -41,6 +50,7 @@ import (
 	"strconv"
 
 	"nnwc/internal/obs"
+	"nnwc/internal/obs/metrics"
 )
 
 // Spec describes one distributed job completely: a worker holding a Spec
@@ -145,6 +155,12 @@ func (fs *Floats) UnmarshalJSON(b []byte) error {
 
 type leaseRequest struct {
 	Worker string `json:"worker"`
+	// Metrics carries the worker's cumulative histogram snapshots (keyed
+	// by the Metric* role names), pushed on every lease request so the
+	// coordinator's /metrics federates live per-worker series. Cumulative
+	// snapshots make the push idempotent: the coordinator replaces, never
+	// adds.
+	Metrics map[string]metrics.HistogramSnapshot `json:"metrics,omitempty"`
 }
 
 type leaseReply struct {
@@ -169,6 +185,10 @@ type resultRequest struct {
 	Error   string          `json:"error,omitempty"`
 	// ElapsedMS is the worker-side task wall time, for latency metrics.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Events is the task's buffered obs trace (JSONL): the runner's
+	// events plus the worker's closing dist_task span. The coordinator
+	// splices them into the merged cluster trace in task-index order.
+	Events string `json:"events,omitempty"`
 }
 
 type resultReply struct {
@@ -181,4 +201,10 @@ type Progress struct {
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
 	Total     int `json:"total"`
+	// Workers counts the distinct workers holding live leases right now
+	// (0 in journal summaries, which have no lease table).
+	Workers int `json:"workers,omitempty"`
+	// ElapsedSec is the coordinator's wall time since start — the
+	// denominator `nnwc runs tail` turns into a throughput and ETA.
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
 }

@@ -30,6 +30,9 @@ type Options struct {
 	LingerAfterDone time.Duration
 	// StateFile journals completed tasks for resume; "" disables.
 	StateFile string
+	// ClusterTraceFile is where the coordinator writes the merged cluster
+	// trace when the job completes; "" disables trace merging.
+	ClusterTraceFile string
 	// Timeouts harden the coordinator's HTTP listener.
 	Timeouts httpx.Timeouts
 	// Logf receives progress lines (nil is silent).
@@ -43,15 +46,16 @@ type Options struct {
 // wait, and hand back the index-ordered payloads plus per-job stats.
 func coordinate(ctx context.Context, opt Options, spec dist.Spec, paths map[string]string) ([]json.RawMessage, dist.Stats, error) {
 	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
-		Addr:            opt.Addr,
-		Spec:            spec,
-		ArtifactPaths:   paths,
-		LeaseSize:       opt.LeaseSize,
-		LeaseTTL:        opt.LeaseTTL,
-		LingerAfterDone: opt.LingerAfterDone,
-		StateFile:       opt.StateFile,
-		Timeouts:        opt.Timeouts,
-		Logf:            opt.Logf,
+		Addr:             opt.Addr,
+		Spec:             spec,
+		ArtifactPaths:    paths,
+		LeaseSize:        opt.LeaseSize,
+		LeaseTTL:         opt.LeaseTTL,
+		LingerAfterDone:  opt.LingerAfterDone,
+		StateFile:        opt.StateFile,
+		ClusterTraceFile: opt.ClusterTraceFile,
+		Timeouts:         opt.Timeouts,
+		Logf:             opt.Logf,
 	})
 	if err != nil {
 		return nil, dist.Stats{}, err

@@ -23,6 +23,7 @@ import (
 	"nnwc/internal/dist"
 	"nnwc/internal/linear"
 	"nnwc/internal/nn"
+	"nnwc/internal/obs"
 	"nnwc/internal/poly"
 	"nnwc/internal/rng"
 	"nnwc/internal/stats"
@@ -264,6 +265,20 @@ func runCrossval(ctx context.Context, env dist.Env, spec dist.Spec, index int) (
 	if err != nil {
 		return nil, err
 	}
+	// Emit the same "fold" event a local cross-validation's fold slot
+	// emits, field for field, so merged cluster traces read like local
+	// ones. Every field derives from (spec, index) — deterministic.
+	if tr := obs.TraceFromContext(ctx); tr.Enabled() {
+		fields := make([]obs.Field, 0, 3+len(trial.Errors))
+		fields = append(fields,
+			obs.Int("fold", index),
+			obs.String("stop_reason", string(trial.Model.TrainResult.Reason)),
+			obs.Float("mean_hmre", stats.MeanSkipNaN(trial.Errors)))
+		for j, e := range trial.Errors {
+			fields = append(fields, obs.Float("hmre_"+ds.TargetNames[j], e))
+		}
+		tr.Emit("fold", fields...)
+	}
 	return json.Marshal(TrialResult{Errors: dist.Floats(trial.Errors)})
 }
 
@@ -290,6 +305,12 @@ func runCompare(ctx context.Context, env dist.Env, spec dist.Spec, index int) (j
 	if err != nil {
 		return nil, err
 	}
+	if tr := obs.TraceFromContext(ctx); tr.Enabled() {
+		tr.Emit("compare_cell",
+			obs.String("family", fams[index/cfg.K].Name),
+			obs.Int("fold", index%cfg.K),
+			obs.Float("mean_hmre", mean))
+	}
 	return json.Marshal(CellResult{Mean: dist.Float(mean)})
 }
 
@@ -306,6 +327,12 @@ func runSurface(ctx context.Context, env dist.Env, spec dist.Spec, index int) (j
 	if err != nil {
 		return nil, err
 	}
+	if tr := obs.TraceFromContext(ctx); tr.Enabled() {
+		tr.Emit("surface_row",
+			obs.Int("row", index),
+			obs.Float("x", cfg.XValues[index]),
+			obs.Int("cols", len(row)))
+	}
 	return json.Marshal(RowResult{Z: dist.Floats(row)})
 }
 
@@ -319,6 +346,12 @@ func runImportance(ctx context.Context, env dist.Env, spec dist.Spec, index int)
 		return nil, err
 	}
 	scores := scoreImportanceFeature(model, ds, base, actual, index, cfg.Repeats, spec.Seed)
+	if tr := obs.TraceFromContext(ctx); tr.Enabled() {
+		tr.Emit("importance_feature",
+			obs.Int("feature", index),
+			obs.String("name", ds.FeatureNames[index]),
+			obs.Float("mean_score", stats.MeanSkipNaN(scores)))
+	}
 	return json.Marshal(ScoresResult{Scores: dist.Floats(scores)})
 }
 
@@ -341,6 +374,12 @@ func runSelect(ctx context.Context, env dist.Env, spec dist.Spec, index int) (js
 	cand, err := core.ScoreTopology(ds, base, cfg.Candidates[index], cfg.K, spec.Seed)
 	if err != nil {
 		return nil, err
+	}
+	if tr := obs.TraceFromContext(ctx); tr.Enabled() {
+		tr.Emit("select_candidate",
+			obs.Int("candidate", index),
+			obs.Float("error", cand.Error),
+			obs.Int("params", cand.Params))
 	}
 	return json.Marshal(CandidateResult{Error: dist.Float(cand.Error), Params: cand.Params})
 }

@@ -28,6 +28,10 @@ type stateEntry struct {
 	Index   int             `json:"index"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 	Error   string          `json:"error,omitempty"`
+	// Events is the task's worker-shipped obs event block (JSONL),
+	// journaled only when the coordinator is merging a cluster trace so a
+	// resumed run still writes a complete one.
+	Events string `json:"events,omitempty"`
 }
 
 // readState loads a journal, verifying it belongs to the spec with the

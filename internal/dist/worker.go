@@ -14,7 +14,9 @@ import (
 	"sync"
 	"time"
 
+	"nnwc/internal/httpx"
 	"nnwc/internal/obs"
+	"nnwc/internal/obs/metrics"
 	"nnwc/internal/sched"
 )
 
@@ -116,6 +118,17 @@ type Worker struct {
 	cfg    WorkerConfig
 	client *http.Client
 
+	// jobID is set once (before the lease loop) from the fetched spec and
+	// stamped on every request as the X-NNWC-Run trace header.
+	jobID string
+
+	// Per-worker wall-time histograms, pushed to the coordinator as
+	// cumulative snapshots on every lease request. Unregistered instances
+	// (metrics.NewHistogram, not the default registry) so many workers in
+	// one process — tests, benchmarks — never share counters.
+	taskHist *metrics.Histogram
+	artHist  *metrics.Histogram
+
 	artMu    sync.Mutex
 	artPaths map[string]string
 }
@@ -138,8 +151,26 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	return &Worker{
 		cfg:      cfg,
 		client:   &http.Client{Timeout: cfg.HTTPTimeout},
+		taskHist: metrics.NewHistogram(MetricTaskMS, "task wall time (ms)", metrics.DefMillisBuckets),
+		artHist:  metrics.NewHistogram(MetricArtifactMS, "artifact fetch wall time (ms)", metrics.DefMillisBuckets),
 		artPaths: make(map[string]string),
 	}, nil
+}
+
+// metricSnapshots gathers the worker's cumulative histogram snapshots for
+// a lease-request push. Empty series are omitted.
+func (w *Worker) metricSnapshots() map[string]metrics.HistogramSnapshot {
+	snaps := make(map[string]metrics.HistogramSnapshot, 2)
+	if s := w.taskHist.Snapshot(); s.Count > 0 {
+		snaps[MetricTaskMS] = s
+	}
+	if s := w.artHist.Snapshot(); s.Count > 0 {
+		snaps[MetricArtifactMS] = s
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	return snaps
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -216,6 +247,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	if !ok {
 		return fmt.Errorf("dist: worker %s has no runner for job kind %q", w.cfg.ID, spec.Kind)
 	}
+	w.jobID = spec.JobID // stamped as X-NNWC-Run on every request from here on
 	w.logf("dist: worker %s: job %q, %d tasks, coordinator %s", w.cfg.ID, spec.Kind, spec.NumTasks, w.cfg.Coordinator)
 
 	for {
@@ -224,7 +256,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		var rep leaseReply
 		err := w.retry(ctx, w.cfg.GiveUp, func() error {
-			return w.postJSON(ctx, "/dist/lease", leaseRequest{Worker: w.cfg.ID}, &rep)
+			return w.postJSON(ctx, "/dist/lease", leaseRequest{Worker: w.cfg.ID, Metrics: w.metricSnapshots()}, &rep)
 		})
 		if err != nil {
 			return fmt.Errorf("dist: worker %s: leasing: %w", w.cfg.ID, err)
@@ -261,15 +293,30 @@ func (w *Worker) runLease(ctx context.Context, runner Runner, spec Spec, rep lea
 	n := rep.Hi - rep.Lo
 	return sched.ForEachWorker(sched.Workers(w.cfg.Parallelism), n, func(i, _ int) error {
 		idx := rep.Lo + i
+		// Each task gets its own buffered trace: the runner emits its
+		// deterministic events through the context, the worker closes the
+		// block with a dist_task span, and the whole buffer ships with the
+		// result for the coordinator to merge in index order.
+		var events bytes.Buffer
+		tr := obs.NewTrace(obs.NewWriterSink(&events))
 		start := time.Now()
-		payload, err := runner(ctx, w, spec, idx)
+		payload, err := runner(obs.ContextWithTrace(ctx, tr), w, spec, idx)
 		elapsed := time.Since(start)
+		ms := float64(elapsed) / float64(time.Millisecond)
+		tr.Emit("dist_task",
+			obs.String("kind", spec.Kind),
+			obs.Int("index", idx),
+			obs.String("worker", w.cfg.ID),
+			obs.Int("lease", int(rep.LeaseID)),
+			obs.Float("ms", ms))
+		w.taskHist.Observe(ms)
 		workerTasksTotal.Inc()
 		res := resultRequest{
 			LeaseID:   rep.LeaseID,
 			Worker:    w.cfg.ID,
 			Index:     idx,
-			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			ElapsedMS: ms,
+			Events:    events.String(),
 		}
 		if err != nil {
 			// Deterministic task failure: report it, don't retry it.
@@ -300,8 +347,14 @@ func (w *Worker) ArtifactPath(ctx context.Context, sha string) (string, error) {
 		return path, nil
 	}
 	var body []byte
+	fetchStart := time.Now()
 	err := w.retry(ctx, w.cfg.GiveUp, func() error {
-		resp, err := w.client.Get(w.cfg.Coordinator + "/dist/artifact/" + sha)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.cfg.Coordinator+"/dist/artifact/"+sha, nil)
+		if err != nil {
+			return permanentError{err}
+		}
+		w.stampHeaders(req)
+		resp, err := w.client.Do(req)
 		if err != nil {
 			return err
 		}
@@ -323,6 +376,7 @@ func (w *Worker) ArtifactPath(ctx context.Context, sha string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	w.artHist.Observe(float64(time.Since(fetchStart)) / float64(time.Millisecond))
 	if got := obs.HashBytes(body); got != sha {
 		return "", fmt.Errorf("dist: artifact %s failed content verification (got %s)", sha, got)
 	}
@@ -368,7 +422,17 @@ func (w *Worker) postJSON(ctx context.Context, path string, in, out any) error {
 	return w.do(req, out)
 }
 
+// stampHeaders adds the trace-propagation headers, so the coordinator's
+// server-side spans attribute the request to this worker and run.
+func (w *Worker) stampHeaders(req *http.Request) {
+	req.Header.Set(httpx.HeaderWorker, w.cfg.ID)
+	if w.jobID != "" {
+		req.Header.Set(httpx.HeaderRun, w.jobID)
+	}
+}
+
 func (w *Worker) do(req *http.Request, out any) error {
+	w.stampHeaders(req)
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return err

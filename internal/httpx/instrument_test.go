@@ -1,0 +1,111 @@
+package httpx
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"nnwc/internal/obs"
+)
+
+func TestInstrumentEmitsSpanWithTraceHeaders(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTrace(obs.NewWriterSink(&buf))
+	h := Instrument(InstrumentOptions{Service: "test", Trace: tr},
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusTeapot)
+		}))
+	req := httptest.NewRequest(http.MethodPost, "/dist/lease", nil)
+	req.Header.Set(HeaderRun, "run-123")
+	req.Header.Set(HeaderWorker, "worker-7")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusTeapot)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatalf("decoding span event %q: %v", buf.String(), err)
+	}
+	for k, want := range map[string]any{
+		"ev":      "http_request",
+		"service": "test",
+		"route":   "POST /dist/lease",
+		"code":    float64(http.StatusTeapot),
+		"job":     "run-123",
+		"worker":  "worker-7",
+	} {
+		if ev[k] != want {
+			t.Fatalf("event[%q] = %v, want %v (event: %v)", k, ev[k], want, ev)
+		}
+	}
+	if _, ok := ev["ms"]; !ok {
+		t.Fatalf("event missing latency field: %v", ev)
+	}
+}
+
+func TestInstrumentDefaultStatusIsOK(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTrace(obs.NewWriterSink(&buf))
+	h := Instrument(InstrumentOptions{Service: "test", Trace: tr},
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("ok")) // implicit 200, WriteHeader never called
+		}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var ev map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["code"] != float64(http.StatusOK) {
+		t.Fatalf("code = %v, want 200", ev["code"])
+	}
+}
+
+func TestInstrumentRouteOverride(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTrace(obs.NewWriterSink(&buf))
+	h := Instrument(InstrumentOptions{
+		Service: "test",
+		Route:   func(r *http.Request) string { return "GET /artifact/{sha}" },
+		Trace:   tr,
+	}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/artifact/deadbeef", nil))
+	var ev map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["route"] != "GET /artifact/{sha}" {
+		t.Fatalf("route = %v, want collapsed label", ev["route"])
+	}
+}
+
+func TestInstrumentNilTraceStillServes(t *testing.T) {
+	h := Instrument(InstrumentOptions{Service: "test"},
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusNoContent)
+		}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("status = %d, want 204", rec.Code)
+	}
+}
+
+func TestContextTraceRoundTrip(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	ctx := req.Context()
+	if got := obs.TraceFromContext(ctx); got != nil {
+		t.Fatalf("empty context carries a trace: %v", got)
+	}
+	var buf bytes.Buffer
+	tr := obs.NewTrace(obs.NewWriterSink(&buf))
+	ctx = obs.ContextWithTrace(ctx, tr)
+	if got := obs.TraceFromContext(ctx); got != tr {
+		t.Fatalf("trace did not round-trip through the context")
+	}
+}

@@ -1,0 +1,25 @@
+package obs
+
+import "context"
+
+// traceCtxKey keys the *Trace a context carries.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying tr. The dist worker threads a
+// per-task buffered trace to its runners this way: the Runner signature
+// stays payload-only, and a runner that wants to emit events (fold
+// summaries, surface rows) asks the context. A nil trace returns ctx
+// unchanged, so disabled paths stay allocation-free.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// TraceFromContext returns the trace ctx carries, or nil — which is a
+// valid, inert *Trace, so callers can guard with Enabled() as usual.
+func TraceFromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}

@@ -12,10 +12,14 @@
 // is a valid, fully inert handle, and every call site guards emission with
 // Trace.Enabled() so no argument is even evaluated when tracing is off.
 //
-// Wall-clock artifacts (timestamps, durations, worker attribution) are
-// confined to the well-known volatile keys "t", "ms" and "worker";
-// CanonicalizeJSONL strips exactly those, and the remainder of a trace is
-// byte-identical across runs.
+// Wall-clock artifacts (timestamps, durations, worker attribution, job
+// IDs, peer addresses, lease IDs) are confined to the well-known volatile
+// keys "t", "ms", "worker", "job", "addr" and "lease", and purely
+// scheduling-narrative event types (lease grants, reassignments, HTTP
+// request logs) to the volatileEvents set; CanonicalizeJSONL strips
+// exactly those, and the remainder of a trace is byte-identical across
+// runs — including the coordinator-merged cluster traces of the dist
+// plane, at any worker count.
 package obs
 
 import (
@@ -246,13 +250,31 @@ func (s Span) End() {
 }
 
 // volatileKeys are the wall-clock and scheduling artifacts a trace may
-// carry; everything else must be deterministic for a fixed seed.
-var volatileKeys = []string{"t", "ms", "worker"}
+// carry; everything else must be deterministic for a fixed seed. The
+// cluster-trace additions: "job" (run IDs embed timestamps), "addr"
+// (peer addresses), and "lease" (lease IDs count grants, whose order is
+// an interleaving artifact).
+var volatileKeys = []string{"t", "ms", "worker", "job", "addr", "lease"}
+
+// volatileEvents are event types whose very *occurrence* is a scheduling
+// artifact — lease grants, expiry reassignments, live HTTP request logs.
+// Stripping keys cannot make such lines deterministic (a run with a
+// straggler has more of them), so CanonicalizeJSONL drops the whole
+// line. The raw trace keeps them: they are what `nnwc runs timeline`
+// renders.
+var volatileEvents = map[string]bool{
+	"dist_lease":    true,
+	"dist_reassign": true,
+	"http_request":  true,
+}
 
 // CanonicalizeJSONL strips the volatile keys ("t" timestamps, "ms"
-// durations, "worker" attribution) from every line of a JSONL trace and
-// re-renders each object with sorted keys. Two traces of the same seeded
-// run canonicalize to identical bytes, at any worker count.
+// durations, "worker" attribution, "job"/"addr"/"lease" cluster-trace
+// identifiers) from every line of a JSONL trace, drops whole lines whose
+// event type is itself scheduling-dependent (volatileEvents), and
+// re-renders each remaining object with sorted keys. Two traces of the
+// same seeded run canonicalize to identical bytes, at any worker count
+// and under any lease interleaving.
 func CanonicalizeJSONL(data []byte) ([]byte, error) {
 	var out bytes.Buffer
 	for lineNo, line := range bytes.Split(data, []byte("\n")) {
@@ -264,6 +286,9 @@ func CanonicalizeJSONL(data []byte) ([]byte, error) {
 		obj := map[string]any{}
 		if err := dec.Decode(&obj); err != nil {
 			return nil, fmt.Errorf("obs: line %d: %w", lineNo+1, err)
+		}
+		if ev, ok := obj["ev"].(string); ok && volatileEvents[ev] {
+			continue
 		}
 		for _, k := range volatileKeys {
 			delete(obj, k)

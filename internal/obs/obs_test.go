@@ -173,6 +173,41 @@ func TestCanonicalizeStripsVolatileKeys(t *testing.T) {
 	}
 }
 
+func TestCanonicalizeStripsClusterVolatileKeys(t *testing.T) {
+	in := []byte(`{"t":"2026-08-05T12:00:00Z","ev":"cluster_job","job":"crossval-20260805-120000","kind":"crossval","tasks":4,"seed":7,"fingerprint":"abc"}
+{"ev":"dist_task","kind":"crossval","index":2,"worker":"host-41","lease":3,"ms":812.5}
+`)
+	got, err := CanonicalizeJSONL(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"ev":"cluster_job","fingerprint":"abc","kind":"crossval","seed":7,"tasks":4}
+{"ev":"dist_task","index":2,"kind":"crossval"}
+`
+	if string(got) != want {
+		t.Fatalf("canonicalized to %q, want %q", got, want)
+	}
+}
+
+func TestCanonicalizeDropsVolatileEventLines(t *testing.T) {
+	in := []byte(`{"ev":"cluster_job","kind":"crossval","tasks":2}
+{"ev":"dist_lease","worker":"a","lo":0,"hi":2,"lease":1}
+{"ev":"dist_reassign","tasks":2,"leases":1}
+{"ev":"http_request","service":"dist","route":"POST /dist/lease","code":200}
+{"ev":"dist_task","kind":"crossval","index":0}
+`)
+	got, err := CanonicalizeJSONL(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"ev":"cluster_job","kind":"crossval","tasks":2}
+{"ev":"dist_task","index":0,"kind":"crossval"}
+`
+	if string(got) != want {
+		t.Fatalf("canonicalized to %q, want %q", got, want)
+	}
+}
+
 func TestCanonicalizeIgnoresTimestampDifferences(t *testing.T) {
 	a := []byte(`{"t":"2026-01-01T00:00:00Z","ev":"x","v":1}` + "\n")
 	b := []byte(`{"t":"2027-12-31T23:59:59Z","ev":"x","v":1}` + "\n")

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"time"
 
 	"nnwc/internal/obs/metrics"
@@ -37,6 +39,12 @@ func StartDebugServer(addr string) (string, error) {
 		return "", err
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln)
+	go func() {
+		// A debug server dying mid-run should be visible, not silent —
+		// an operator staring at a dead /metrics endpoint needs the why.
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "obs: debug server on %s exited: %v\n", ln.Addr(), err)
+		}
+	}()
 	return ln.Addr().String(), nil
 }

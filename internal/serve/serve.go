@@ -47,6 +47,7 @@ import (
 
 	"nnwc/internal/httpx"
 	"nnwc/internal/obs"
+	"nnwc/internal/obs/metrics"
 	"nnwc/internal/serve/batch"
 	"nnwc/internal/serve/deploy"
 	"nnwc/internal/serve/registry"
@@ -422,7 +423,11 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.ln = ln
-	s.http = httpx.NewServer(s.Handler(), httpx.Timeouts{
+	// The shared httpx middleware gives the serve plane the same
+	// server-side request metrics and span events the dist coordinator has
+	// (routes here are a fixed set, so the default METHOD+path label works).
+	handler := httpx.Instrument(httpx.InstrumentOptions{Service: "serve", Trace: s.cfg.Trace}, s.Handler())
+	s.http = httpx.NewServer(handler, httpx.Timeouts{
 		Read:  s.cfg.ReadTimeout,
 		Write: s.cfg.WriteTimeout,
 		Idle:  s.cfg.IdleTimeout,
@@ -611,6 +616,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, meta)
+	// The process-wide registry carries the series the shared httpx
+	// middleware records (nnwc_http_*), so one scrape sees both the
+	// fleet surface and the request layer.
+	metrics.Default().Write(w)
 	s.metrics.observeRequest("metrics", http.StatusOK, 0)
 }
 
