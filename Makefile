@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race dist-test cluster-test bench-smoke bench bench-json bench-kernels serve-bench bench-obs ci clean
+.PHONY: all build vet lint lint-report lint-baseline test race dist-test cluster-test bench-smoke bench bench-json bench-kernels serve-bench bench-obs ci clean
 
 all: ci
 
@@ -10,11 +10,28 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (see DESIGN.md §11): determinism-source
-# confinement, scheduler confinement, map-range ordering, hot-path
-# allocation discipline, and float-equality, driven by lint.conf.
+# Project-specific static analysis (see DESIGN.md §11 and §16):
+# determinism-source confinement, scheduler confinement, map-range
+# ordering, hot-path allocation discipline, float-equality, and the
+# concurrency/resource-lifecycle rules (ctxflow, lockhold,
+# goroutine-lifecycle, pooldiscipline, errcheck-results), driven by
+# lint.conf. Fails only on findings not recorded in lint-baseline.json;
+# the intended steady state is an empty baseline and a clean tip.
 lint:
-	$(GO) run ./cmd/nnwc-lint ./...
+	$(GO) run ./cmd/nnwc-lint -baseline lint-baseline.json ./...
+
+# Machine-readable lint report (the CI artifact): the same run as `make
+# lint` but as JSON, including waived findings with their //lint:waive
+# justifications so suppressions stay auditable. Never fails: the report
+# is for reading, `make lint` is the gate.
+lint-report:
+	-$(GO) run ./cmd/nnwc-lint -baseline lint-baseline.json -json ./... > lint-report.json
+
+# Re-accept every current finding into lint-baseline.json. Use sparingly
+# — when landing a new analyzer ahead of the cleanup it demands — and
+# burn the baseline back down to [] as the findings are fixed.
+lint-baseline:
+	$(GO) run ./cmd/nnwc-lint -write-baseline lint-baseline.json ./...
 
 test:
 	$(GO) test ./...

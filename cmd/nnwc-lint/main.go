@@ -1,22 +1,37 @@
 // Command nnwc-lint runs the repo's static-analysis suite (DESIGN.md
-// §11) over Go packages and reports findings as
+// §11, §16) over Go packages and reports findings as
 // "file:line:col: [rule] message" lines, with file paths relative to the
 // module root so output is stable across checkouts.
 //
 // Usage:
 //
-//	nnwc-lint [-conf lint.conf] [-rules r1,r2] [packages...]
+//	nnwc-lint [-conf lint.conf] [-rules r1,r2] [-json] [-baseline f] [packages...]
 //
 // Packages default to ./... (the whole module, testdata excluded).
-// Exit codes: 0 clean, 1 findings, 2 usage or load error.
+//
+// -json emits the findings as a JSON array instead of text. The schema
+// is stable: {rule, file, line, col, message, waived, justification,
+// baselined}. Unlike the text reporter, the JSON report includes waived
+// findings (waived=true plus the //lint:waive justification) so CI
+// artifacts expose the full suppression picture.
+//
+// -baseline reads a findings baseline (see -write-baseline) and fails
+// only on findings not recorded there; baselined findings are dropped
+// from text output and marked baselined=true in JSON. Baseline entries
+// are keyed by rule+file+message — deliberately not line — so unrelated
+// edits above a known finding do not churn the baseline.
+//
+// Exit codes: 0 clean, 1 new findings, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"nnwc/internal/analysis"
@@ -38,8 +53,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	confPath := fs.String("conf", "", "policy file (default: lint.conf at the module root, if present)")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (includes waived findings)")
+	baselinePath := fs.String("baseline", "", "accepted-findings file; only findings not in it fail the run")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: nnwc-lint [-conf lint.conf] [-rules r1,r2] [packages...]\n")
+		fmt.Fprintf(stderr, "usage: nnwc-lint [-conf lint.conf] [-rules r1,r2] [-json] [-baseline f] [packages...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +93,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "nnwc-lint:", err)
+		return exitUsage
+	}
+
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "nnwc-lint:", err)
@@ -85,20 +109,140 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	found := false
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range analysis.Run(pkg, analyzers, policy) {
-			found = true
-			if rel, err := filepath.Rel(loader.RootDir, d.Pos.Filename); err == nil {
-				d.Pos.Filename = filepath.ToSlash(rel)
-			}
-			fmt.Fprintln(stdout, d)
+		all = append(all, analysis.RunAll(pkg, analyzers, policy)...)
+	}
+	for i := range all {
+		if rel, err := filepath.Rel(loader.RootDir, all[i].Pos.Filename); err == nil {
+			all[i].Pos.Filename = filepath.ToSlash(rel)
 		}
 	}
-	if found {
+
+	if *writeBaseline != "" {
+		n, err := writeBaselineFile(*writeBaseline, all)
+		if err != nil {
+			fmt.Fprintln(stderr, "nnwc-lint:", err)
+			return exitUsage
+		}
+		fmt.Fprintf(stderr, "nnwc-lint: wrote %d finding(s) to %s\n", n, *writeBaseline)
+		return exitClean
+	}
+
+	newFindings := 0
+	report := make([]jsonFinding, 0, len(all))
+	for _, d := range all {
+		f := jsonFinding{
+			Rule:          d.Rule,
+			File:          d.Pos.Filename,
+			Line:          d.Pos.Line,
+			Col:           d.Pos.Column,
+			Message:       d.Message,
+			Waived:        d.Waived,
+			Justification: d.Justification,
+		}
+		if !d.Waived && baseline[baselineKey(d)] {
+			f.Baselined = true
+		}
+		report = append(report, f)
+		if !d.Waived && !f.Baselined {
+			newFindings++
+			if !*jsonOut {
+				fmt.Fprintln(stdout, d)
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "nnwc-lint:", err)
+			return exitUsage
+		}
+	}
+	if newFindings > 0 {
 		return exitFindings
 	}
 	return exitClean
+}
+
+// jsonFinding is the stable -json record. Field set and names are part
+// of the tool's interface (CI artifacts parse them); extend, don't
+// rename.
+type jsonFinding struct {
+	Rule          string `json:"rule"`
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Message       string `json:"message"`
+	Waived        bool   `json:"waived"`
+	Justification string `json:"justification,omitempty"`
+	Baselined     bool   `json:"baselined,omitempty"`
+}
+
+// baselineEntry is one accepted finding. Line is deliberately absent:
+// the key is rule+file+message, so edits above a known finding do not
+// invalidate the baseline.
+type baselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+func baselineKey(d analysis.Diagnostic) string {
+	return d.Rule + "\x00" + d.Pos.Filename + "\x00" + d.Message
+}
+
+func readBaseline(path string) (map[string]bool, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	keys := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		keys[e.Rule+"\x00"+e.File+"\x00"+e.Message] = true
+	}
+	return keys, nil
+}
+
+// writeBaselineFile records the active (unwaived) findings, deduplicated
+// and sorted, and returns how many entries it wrote.
+func writeBaselineFile(path string, diags []analysis.Diagnostic) (int, error) {
+	seen := map[string]bool{}
+	entries := []baselineEntry{}
+	for _, d := range diags {
+		if d.Waived {
+			continue
+		}
+		key := baselineKey(d)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		entries = append(entries, baselineEntry{Rule: d.Rule, File: d.Pos.Filename, Message: d.Message})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	return len(entries), os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func selectAnalyzers(rules string) ([]*analysis.Analyzer, error) {

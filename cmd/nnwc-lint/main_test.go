@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +15,10 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // fixtureNames lists every self-test package under
 // internal/analysis/testdata/src, in the order the golden file expects.
-var fixtureNames = []string{"determinism", "floateq", "hotpath", "maprange", "sched", "waiver"}
+var fixtureNames = []string{
+	"ctxflow", "determinism", "errcheckresults", "floateq", "golifecycle",
+	"hotpath", "lockhold", "maprange", "pooldiscipline", "sched", "waiver",
+}
 
 func moduleRoot(t *testing.T) string {
 	t.Helper()
@@ -96,10 +101,151 @@ func TestListRules(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != exitClean {
 		t.Fatalf("-list exit = %d, want %d", code, exitClean)
 	}
-	for _, rule := range []string{"determinism", "sched", "maprange", "hotpath", "floateq"} {
+	for _, rule := range []string{
+		"determinism", "sched", "maprange", "hotpath", "floateq",
+		"ctxflow", "lockhold", "goroutine-lifecycle", "pooldiscipline", "errcheck-results",
+	} {
 		if !strings.Contains(stdout.String(), rule) {
 			t.Errorf("-list output missing rule %q:\n%s", rule, stdout.String())
 		}
+	}
+}
+
+// TestBuildTagExcludedFiles pins that a file gated behind an unsatisfied
+// //go:build constraint is skipped entirely: testdata/src/tagged holds a
+// deliberately type-broken excluded.go next to a clean tagged.go, and the
+// package must lint clean.
+func TestBuildTagExcludedFiles(t *testing.T) {
+	conf := filepath.Join("testdata", "fixtures.conf")
+	dir := filepath.Join("testdata", "src", "tagged")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-conf", conf, dir}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitClean, stdout.String(), stderr.String())
+	}
+}
+
+// TestLoadFailuresGolden pins the failure-path diagnostics: a package
+// that does not type-check and a malformed lint.conf must both exit 2
+// with positioned errors. Regenerate with -update.
+func TestLoadFailuresGolden(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-conf", filepath.Join("testdata", "fixtures.conf"), filepath.Join("testdata", "src", "typeerr")}, &stdout, &stderr)
+	fmt.Fprintf(&out, "-- type error (exit %d) --\n%s", code, stderr.String())
+	if code != exitUsage {
+		t.Errorf("type-error fixture: exit = %d, want %d", code, exitUsage)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-conf", filepath.Join("testdata", "malformed.conf"), filepath.Join("testdata", "src", "tagged")}, &stdout, &stderr)
+	fmt.Fprintf(&out, "-- malformed conf (exit %d) --\n%s", code, stderr.String())
+	if code != exitUsage {
+		t.Errorf("malformed conf: exit = %d, want %d", code, exitUsage)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-baseline", filepath.Join("testdata", "no-such-baseline.json"), filepath.Join("testdata", "src", "tagged")}, &stdout, &stderr)
+	if code != exitUsage {
+		t.Errorf("missing baseline: exit = %d, want %d", code, exitUsage)
+	}
+
+	// Absolute checkout paths would make the golden file machine-specific.
+	got := strings.ReplaceAll(out.String(), root+string(filepath.Separator), "")
+	goldenPath := filepath.Join("testdata", "failures.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("failure diagnostics drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestJSONReport pins the -json schema: every finding carries rule, file,
+// line, col, and message; waived findings are present with waived=true
+// and the //lint:waive justification instead of being dropped.
+func TestJSONReport(t *testing.T) {
+	conf := filepath.Join("testdata", "fixtures.conf")
+	dir := filepath.Join(moduleRoot(t), "internal", "analysis", "testdata", "src", "sched")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-conf", conf, "-json", dir}, &stdout, &stderr); code != exitFindings {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, exitFindings, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json produced no findings for the sched fixture")
+	}
+	waived := 0
+	for _, f := range findings {
+		if f.Rule == "" || f.File == "" || f.Line == 0 || f.Col == 0 || f.Message == "" {
+			t.Errorf("finding with missing field: %+v", f)
+		}
+		if filepath.IsAbs(f.File) || strings.Contains(f.File, "\\") {
+			t.Errorf("file path not slash-relative to module root: %q", f.File)
+		}
+		if f.Waived {
+			waived++
+			if f.Justification == "" {
+				t.Errorf("waived finding without justification: %+v", f)
+			}
+		}
+	}
+	if waived == 0 {
+		t.Error("sched fixture has a used waiver, but no waived finding in the JSON report")
+	}
+}
+
+// TestBaselineRoundTrip pins the findings-baseline workflow: writing a
+// baseline captures the current findings, and a rerun against it is
+// clean — while the JSON report still shows the findings as baselined.
+func TestBaselineRoundTrip(t *testing.T) {
+	conf := filepath.Join("testdata", "fixtures.conf")
+	dir := filepath.Join(moduleRoot(t), "internal", "analysis", "testdata", "src", "sched")
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-conf", conf, "-write-baseline", base, dir}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("-write-baseline exit = %d, want %d\nstderr:\n%s", code, exitClean, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-conf", conf, "-baseline", base, dir}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("baselined rerun exit = %d, want %d\nstdout:\n%s", code, exitClean, stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("baselined rerun printed findings:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-conf", conf, "-baseline", base, "-json", dir}, &stdout, &stderr); code != exitClean {
+		t.Fatalf("baselined -json exit = %d, want %d", code, exitClean)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+	baselined := 0
+	for _, f := range findings {
+		if f.Baselined {
+			baselined++
+		}
+	}
+	if baselined == 0 {
+		t.Error("baselined -json report marks no finding as baselined")
 	}
 }
 

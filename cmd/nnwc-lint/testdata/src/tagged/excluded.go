@@ -1,0 +1,10 @@
+//go:build ignore
+
+// This file would fail type-checking if it were ever loaded; the build
+// constraint above excludes it, and the loader must honor that instead
+// of reporting these deliberate errors.
+package tagged
+
+var broken int = "build-tag-excluded files must not be type-checked"
+
+func alsoBroken() { undefinedCall() }

@@ -1,0 +1,6 @@
+// Package tagged is a driver fixture: its sibling file excluded.go is
+// gated behind a //go:build constraint that the host never satisfies,
+// and must not poison type-checking of this package.
+package tagged
+
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,10 @@
+// Package typeerr is a driver fixture that deliberately fails
+// type-checking, so the loader's positioned diagnostics (every broken
+// line, not just the first) can be golden-tested. It is only loaded by
+// explicit path; ./... skips testdata directories.
+package typeerr
+
+func mismatch() int {
+	var s string = 42
+	return undefinedCall(s)
+}

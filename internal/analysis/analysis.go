@@ -21,10 +21,16 @@ import (
 )
 
 // Diagnostic is one finding, formatted as "file:line:col: [rule] message".
+// A waived diagnostic (suppressed by a `//lint:waive` comment) is still
+// recorded — with Waived set and the waiver's justification — so that
+// machine consumers (nnwc-lint -json) can audit what is being suppressed
+// and why; the text reporter and the exit code ignore waived entries.
 type Diagnostic struct {
-	Pos     token.Position
-	Rule    string
-	Message string
+	Pos           token.Position
+	Rule          string
+	Message       string
+	Waived        bool
+	Justification string // non-empty only when Waived
 }
 
 func (d Diagnostic) String() string {
@@ -48,14 +54,17 @@ type Pass struct {
 	diags   *[]Diagnostic
 }
 
-// Reportf records a finding at pos unless a matching waiver comment is
-// attached to that line (or the line above it).
+// Reportf records a finding at pos. If a matching waiver comment is
+// attached to that line (or the line above it) the finding is recorded
+// as waived, carrying the waiver's justification, instead of active.
 func (p *Pass) Reportf(rule string, pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	if p.waivers.waive(rule, position) {
-		return
+	d := Diagnostic{Pos: position, Rule: rule, Message: fmt.Sprintf(format, args...)}
+	if w := p.waivers.waive(rule, position); w != nil {
+		d.Waived = true
+		d.Justification = w.justification
 	}
-	*p.diags = append(*p.diags, Diagnostic{Pos: position, Rule: rule, Message: fmt.Sprintf(format, args...)})
+	*p.diags = append(*p.diags, d)
 }
 
 // Analyzers returns the full suite in stable order.
@@ -66,13 +75,33 @@ func Analyzers() []*Analyzer {
 		MapRangeAnalyzer,
 		HotPathAnalyzer,
 		FloatEqAnalyzer,
+		CtxflowAnalyzer,
+		LockholdAnalyzer,
+		GoLifecycleAnalyzer,
+		PoolDisciplineAnalyzer,
+		ErrcheckResultsAnalyzer,
 	}
 }
 
 // Run applies the given analyzers to pkg under policy and returns the
-// findings sorted by position. Malformed or unused waiver comments are
-// reported under the pseudo-rule "waiver".
+// active findings sorted by position. Malformed or unused waiver
+// comments are reported under the pseudo-rule "waiver"; waived findings
+// are dropped (use RunAll to see them).
 func Run(pkg *Package, analyzers []*Analyzer, policy *Policy) []Diagnostic {
+	all := RunAll(pkg, analyzers, policy)
+	active := all[:0]
+	for _, d := range all {
+		if !d.Waived {
+			active = append(active, d)
+		}
+	}
+	return active
+}
+
+// RunAll is Run without the waiver filter: waived findings are included
+// with Waived set and the waiver's justification, so callers that emit
+// machine-readable reports can expose the full suppression picture.
+func RunAll(pkg *Package, analyzers []*Analyzer, policy *Policy) []Diagnostic {
 	var diags []Diagnostic
 	wt := newWaiverTable(pkg, &diags)
 	for _, a := range analyzers {
@@ -223,20 +252,21 @@ func newWaiverTable(pkg *Package, diags *[]Diagnostic) *waiverTable {
 	return wt
 }
 
-// waive reports whether a waiver for rule is attached at pos: on the same
-// line (trailing comment) or the line immediately above (own-line comment).
-func (wt *waiverTable) waive(rule string, pos token.Position) bool {
+// waive returns the waiver for rule attached at pos — on the same line
+// (trailing comment) or the line immediately above (own-line comment) —
+// or nil when the finding is not waived.
+func (wt *waiverTable) waive(rule string, pos token.Position) *waiver {
 	lines := wt.byLine[pos.Filename]
 	if lines == nil {
-		return false
+		return nil
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		if w := lines[line]; w != nil && w.rule == rule {
 			w.used = true
-			return true
+			return w
 		}
 	}
-	return false
+	return nil
 }
 
 // reportUnused flags waivers that suppressed nothing: either stale, or

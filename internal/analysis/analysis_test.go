@@ -122,6 +122,12 @@ func TestMapRangeFixture(t *testing.T)    { checkFixture(t, "maprange", NewPolic
 func TestHotPathFixture(t *testing.T)     { checkFixture(t, "hotpath", NewPolicy()) }
 func TestWaiverFixture(t *testing.T)      { checkFixture(t, "waiver", NewPolicy()) }
 
+func TestCtxflowFixture(t *testing.T)         { checkFixture(t, "ctxflow", NewPolicy()) }
+func TestLockholdFixture(t *testing.T)        { checkFixture(t, "lockhold", NewPolicy()) }
+func TestGoLifecycleFixture(t *testing.T)     { checkFixture(t, "golifecycle", NewPolicy()) }
+func TestPoolDisciplineFixture(t *testing.T)  { checkFixture(t, "pooldiscipline", NewPolicy()) }
+func TestErrcheckResultsFixture(t *testing.T) { checkFixture(t, "errcheckresults", NewPolicy()) }
+
 func TestFloatEqFixture(t *testing.T) {
 	p := NewPolicy()
 	p.AllowFunc("floateq", testLoaderModulePath(t)+"/internal/analysis/testdata/src/floateq.approxEqual")

@@ -1,0 +1,336 @@
+// Package cfg builds lightweight intra-function control-flow graphs over
+// go/ast function bodies for the concurrency and resource-lifecycle
+// analyzers (DESIGN.md §16). The graph is deliberately small: basic
+// blocks hold statements (and the condition expressions that gate
+// branches) in evaluation order, edges follow if/for/range/switch/
+// select/return/break/continue control flow, and defers are collected
+// separately because they run at every function exit. It is a
+// may-analysis substrate — `goto` and labeled jumps it cannot resolve
+// degrade to a conservative edge to the exit block — which is exactly
+// what the lockhold and pooldiscipline dataflow passes need: they must
+// never claim a path does not exist.
+package cfg
+
+import "go/ast"
+
+// Block is one basic block: a maximal run of nodes with no internal
+// control transfer. Nodes are ast.Stmt in source order, plus the bare
+// ast.Expr conditions of the branch that ends the block (so dataflow
+// transfer functions see condition side effects such as method calls).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the CFG of one function body. Exit is a virtual empty block:
+// every return statement and the natural end of the body flow into it.
+// Defers lists every defer statement in the body in source order; they
+// execute, in reverse order, on every path into Exit.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of body. A nil body (declaration without a body)
+// yields a graph whose entry connects straight to exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmts(body.List)
+	}
+	b.jump(b.cur, b.g.Exit)
+	return b.g
+}
+
+// Reachable returns the blocks reachable from Entry in a stable
+// (index-sorted) order. Analyzers iterate this set so statements after
+// an unconditional return never feed dataflow state.
+func (g *Graph) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	var out []*Block
+	for _, b := range g.Blocks {
+		if seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+type loopFrame struct {
+	label     string
+	continueB *Block // nil for switch/select frames (not continue targets)
+	breakB    *Block
+}
+
+type builder struct {
+	g      *builderGraph
+	cur    *Block
+	frames []loopFrame
+}
+
+// builderGraph aliases Graph so builder methods read naturally.
+type builderGraph = Graph
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) jump(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt extends the CFG with s. label is the label attached to s when it
+// came through a LabeledStmt ("" otherwise); loops and switches record
+// it so labeled break/continue resolve to the right frame.
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.cur, b.g.Exit)
+		b.cur = b.newBlock() // unreachable successor
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.clauses(s.Body.List, label, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.clauses(s.Body.List, label, true)
+	case *ast.SelectStmt:
+		b.clauses(s.Body.List, label, false)
+	default:
+		// Straight-line statement (assign, expr, go, decl, send, incdec,
+		// empty): accumulate into the current block.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	target := (*Block)(nil)
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if label == "" || b.frames[i].label == label {
+				target = b.frames[i].breakB
+				break
+			}
+		}
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].continueB != nil && (label == "" || b.frames[i].label == label) {
+				target = b.frames[i].continueB
+				break
+			}
+		}
+	case "fallthrough":
+		// Handled structurally by clauses(); reaching here means a
+		// malformed tree — treat as straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		return
+	}
+	if target == nil {
+		// goto, or a break/continue whose frame is outside this body
+		// fragment: conservatively flow to exit so no path disappears.
+		target = b.g.Exit
+	}
+	b.jump(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+	cond := b.cur
+	join := b.newBlock()
+
+	then := b.newBlock()
+	b.jump(cond, then)
+	b.cur = then
+	b.stmts(s.Body.List)
+	b.jump(b.cur, join)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.jump(cond, els)
+		b.cur = els
+		b.stmt(s.Else, "")
+		b.jump(b.cur, join)
+	} else {
+		b.jump(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	head := b.newBlock()
+	body := b.newBlock()
+	exit := b.newBlock()
+	b.jump(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.jump(head, exit)
+	}
+	b.jump(head, body)
+
+	// continue runs the post statement, then re-tests the condition.
+	contTarget := head
+	if s.Post != nil {
+		post := b.newBlock()
+		b.cur = post
+		b.stmt(s.Post, "")
+		b.jump(b.cur, head)
+		contTarget = post
+	}
+
+	b.frames = append(b.frames, loopFrame{label: label, continueB: contTarget, breakB: exit})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.jump(b.cur, contTarget)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	body := b.newBlock()
+	exit := b.newBlock()
+	// The range statement itself sits in the head block: its X operand is
+	// evaluated there and the per-iteration assignment happens there.
+	head.Nodes = append(head.Nodes, s)
+	b.jump(b.cur, head)
+	b.jump(head, body)
+	b.jump(head, exit)
+
+	b.frames = append(b.frames, loopFrame{label: label, continueB: head, breakB: exit})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.jump(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	b.cur = exit
+}
+
+// clauses builds the case bodies of a switch/type-switch (breakable=true,
+// and an implicit fall-past edge exists when no default clause is
+// present) or a select (no implicit edge unless a default clause exists
+// — a select without default blocks until a comm case fires).
+func (b *builder) clauses(list []ast.Stmt, label string, breakable bool) {
+	cond := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakB: join})
+	_ = breakable
+
+	hasDefault := false
+	blocks := make([]*Block, len(list))
+	bodies := make([][]ast.Stmt, len(list))
+	for i, cl := range list {
+		blk := b.newBlock()
+		blocks[i] = blk
+		b.jump(cond, blk)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				cond.Nodes = append(cond.Nodes, e)
+			}
+			bodies[i] = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.Nodes = append(blk.Nodes, cl.Comm)
+			}
+			bodies[i] = cl.Body
+		}
+	}
+	for i := range list {
+		b.cur = blocks[i]
+		// Strip a trailing fallthrough: its effect is the edge below.
+		body := bodies[i]
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				fallsThrough, body = true, body[:n-1]
+			}
+		}
+		b.stmts(body)
+		if fallsThrough && i+1 < len(list) {
+			b.jump(b.cur, blocks[i+1])
+		} else {
+			b.jump(b.cur, join)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if hasDefault || len(list) == 0 {
+		// default exists (or the statement is empty): control can fall
+		// straight past.
+		b.jump(cond, join)
+	} else if breakable {
+		// switch without default: no case may match.
+		b.jump(cond, join)
+	}
+	b.cur = join
+}

@@ -1,0 +1,231 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns its CFG.
+func parseBody(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// hasEdge reports whether to is reachable from from.
+func hasEdge(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var visit func(*Block) bool
+	visit = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(from)
+}
+
+// nodeBlocks maps each statement/expression position to its block so
+// tests can locate the block holding a given construct.
+func blockOf(g *Graph, match func(ast.Node) bool) *Block {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if match(n) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func isCall(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := parseBody(t, "a()\nb()")
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Fatal("entry must reach exit")
+	}
+	if blockOf(g, isCall("a")) != blockOf(g, isCall("b")) {
+		t.Error("straight-line calls must share a block")
+	}
+}
+
+func TestReturnCutsFlow(t *testing.T) {
+	g := parseBody(t, "a()\nreturn\nb()")
+	bb := blockOf(g, isCall("b"))
+	if bb == nil {
+		t.Fatal("b() block missing")
+	}
+	for _, r := range g.Reachable() {
+		if r == bb {
+			t.Error("statement after return must be unreachable")
+		}
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := parseBody(t, "if c {\n a()\n} else {\n b()\n}\nj()")
+	ab, bb, jb := blockOf(g, isCall("a")), blockOf(g, isCall("b")), blockOf(g, isCall("j"))
+	if ab == nil || bb == nil || jb == nil {
+		t.Fatal("missing blocks")
+	}
+	if ab == bb {
+		t.Error("then/else must be distinct blocks")
+	}
+	if !hasEdge(ab, jb) || !hasEdge(bb, jb) {
+		t.Error("both branches must reach the join")
+	}
+}
+
+// TestIfWithoutElseSkips pins the edge that makes lockhold/pooldiscipline
+// path-sensitive: when the then-branch is skipped, flow goes cond→join.
+func TestIfWithoutElseSkips(t *testing.T) {
+	g := parseBody(t, "if c {\n a()\n}\nj()")
+	ab, jb := blockOf(g, isCall("a")), blockOf(g, isCall("j"))
+	condB := g.Entry
+	direct := false
+	for _, s := range condB.Succs {
+		if s != ab && hasEdge(s, jb) {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("cond must have a path to the join that bypasses the then-branch")
+	}
+}
+
+func TestForLoopBackEdgeAndExit(t *testing.T) {
+	g := parseBody(t, "for i := 0; i < n; i++ {\n a()\n}\nj()")
+	ab, jb := blockOf(g, isCall("a")), blockOf(g, isCall("j"))
+	if !hasEdge(ab, ab) {
+		t.Error("loop body must reach itself via the back edge")
+	}
+	if !hasEdge(ab, jb) {
+		t.Error("loop body must reach the loop exit")
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	g := parseBody(t, "for {\n if c {\n  break\n }\n a()\n}\nj()")
+	ab, jb := blockOf(g, isCall("a")), blockOf(g, isCall("j"))
+	if !hasEdge(g.Entry, jb) {
+		t.Error("break must make the code after an infinite loop reachable")
+	}
+	if !hasEdge(ab, ab) {
+		t.Error("loop must still cycle")
+	}
+	// Without the break path, a() would have no route to j() except the
+	// break; verify the break edge targets the exit block of the loop.
+	if !hasEdge(ab, jb) {
+		t.Error("body continues to loop head which reaches break path")
+	}
+}
+
+func TestContinueTargetsPost(t *testing.T) {
+	g := parseBody(t, "for i := 0; i < n; i++ {\n if c {\n  continue\n }\n a()\n}\n")
+	ab := blockOf(g, isCall("a"))
+	if ab == nil {
+		t.Fatal("a() block missing")
+	}
+	// continue must not skip the loop entirely: the graph still cycles.
+	if !hasEdge(ab, ab) {
+		t.Error("continue must re-enter the loop")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := parseBody(t, "for range xs {\n a()\n}\nj()")
+	ab, jb := blockOf(g, isCall("a")), blockOf(g, isCall("j"))
+	if !hasEdge(ab, ab) || !hasEdge(ab, jb) {
+		t.Error("range loop must cycle and exit")
+	}
+}
+
+func TestSwitchClausesJoin(t *testing.T) {
+	g := parseBody(t, "switch v {\ncase 1:\n a()\ncase 2:\n b()\n}\nj()")
+	ab, bb, jb := blockOf(g, isCall("a")), blockOf(g, isCall("b")), blockOf(g, isCall("j"))
+	if ab == bb {
+		t.Error("clauses must be distinct")
+	}
+	if !hasEdge(ab, jb) || !hasEdge(bb, jb) {
+		t.Error("clauses must reach the join")
+	}
+	if !hasEdge(g.Entry, jb) {
+		t.Error("switch without default must allow fall-past")
+	}
+}
+
+func TestSelectCommClauses(t *testing.T) {
+	g := parseBody(t, "select {\ncase <-ch:\n a()\ncase ch2 <- v:\n b()\n}\nj()")
+	ab, bb, jb := blockOf(g, isCall("a")), blockOf(g, isCall("b")), blockOf(g, isCall("j"))
+	if ab == nil || bb == nil || jb == nil {
+		t.Fatal("missing blocks")
+	}
+	if !hasEdge(ab, jb) || !hasEdge(bb, jb) {
+		t.Error("comm clauses must reach the join")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := parseBody(t, "defer a()\nif c {\n defer b()\n}")
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestGotoConservative(t *testing.T) {
+	g := parseBody(t, "a()\ngoto L\nb()\nL:\nc()")
+	// The builder cannot resolve the label target; the goto must at least
+	// not lose the path to exit.
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Error("goto must keep a conservative path to exit")
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Error("empty graph must connect entry to exit")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := parseBody(t, "outer:\nfor {\n for {\n  if c {\n   break outer\n  }\n  a()\n }\n}\nj()")
+	jb := blockOf(g, isCall("j"))
+	if jb == nil {
+		t.Fatal("j() block missing")
+	}
+	if !hasEdge(g.Entry, jb) {
+		t.Error("labeled break must reach past the outer loop")
+	}
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxflowAnalyzer enforces deadline discipline on the HTTP planes: every
+// blocking network operation must be bounded by a context or a
+// configured timeout. It is the analyzer that would have caught the
+// serve plane's original timeout-less http.Server (fixed in the PR that
+// introduced internal/httpx). Findings:
+//
+//   - an http.Server composite literal that leaves any connection
+//     timeout unset (construct servers through httpx.NewServer);
+//   - an http.Client composite literal without a Timeout field;
+//   - the deadline-free package helpers http.Get/Head/Post/PostForm;
+//   - http.NewRequest instead of http.NewRequestWithContext;
+//   - context.Background()/context.TODO() inside a function that already
+//     receives a ctx parameter (the caller's deadline is dropped);
+//   - a bare blocking channel receive inside a function that receives a
+//     ctx parameter (select on ctx.Done() instead).
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "require contexts or configured deadlines on blocking HTTP-plane operations",
+	Run:  runCtxflow,
+}
+
+// serverTimeoutFields are the http.Server fields that bound connection
+// I/O; a literal missing any of them ships an unbounded server.
+var serverTimeoutFields = []string{"ReadHeaderTimeout", "ReadTimeout", "WriteTimeout", "IdleTimeout"}
+
+func runCtxflow(p *Pass) {
+	if !p.Policy.Applies("ctxflow", p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.ctxflowFunc(fd)
+		}
+	}
+}
+
+func (p *Pass) ctxflowFunc(fd *ast.FuncDecl) {
+	ctx := p.ctxParam(fd)
+	// Receives that are select comm clauses are cancellable by adding a
+	// ctx.Done() case in place; only bare receives outside selects are
+	// reported. Collect the comm positions first.
+	inSelect := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+				ast.Inspect(comm.Comm, func(c ast.Node) bool {
+					if u, ok := c.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+						inSelect[u] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			p.checkHTTPLiteral(n)
+		case *ast.CallExpr:
+			p.checkCtxflowCall(n, ctx)
+		case *ast.UnaryExpr:
+			if n.Op.String() != "<-" || ctx == "" || inSelect[n] {
+				return true
+			}
+			if p.isCtxDoneChan(n.X) {
+				return true // <-ctx.Done() is the cancellation wait itself
+			}
+			p.Reportf("ctxflow", n.Pos(),
+				"blocking receive ignores the function's ctx parameter; select on %s.Done() alongside it", ctx)
+		}
+		return true
+	})
+}
+
+// isCtxDoneChan matches ctx.Done() for any context-typed receiver.
+func (p *Pass) isCtxDoneChan(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}
+
+func (p *Pass) checkHTTPLiteral(lit *ast.CompositeLit) {
+	tv, ok := p.Pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named := namedOrPtr(tv.Type)
+	if named == nil {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return
+	}
+	set := map[string]bool{}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				set[key.Name] = true
+			}
+		}
+	}
+	switch obj.Name() {
+	case "Server":
+		var missing []string
+		for _, field := range serverTimeoutFields {
+			if !set[field] {
+				missing = append(missing, field)
+			}
+		}
+		if len(missing) > 0 {
+			p.Reportf("ctxflow", lit.Pos(),
+				"http.Server literal leaves %s unset; a stalled client pins its connection forever — construct servers via httpx.NewServer", strings.Join(missing, "/"))
+		}
+	case "Client":
+		if !set["Timeout"] {
+			p.Reportf("ctxflow", lit.Pos(),
+				"http.Client literal without Timeout has no deadline; set Timeout or build requests with NewRequestWithContext")
+		}
+	case "Transport":
+		// Transports carry their own dial/TLS deadlines, but the common
+		// defect is the enclosing Client; nothing to check here.
+	}
+}
+
+func (p *Pass) checkCtxflowCall(call *ast.CallExpr, ctx string) {
+	fn := p.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	switch key := funcKey(fn); key {
+	case "net/http.Get", "net/http.Head", "net/http.Post", "net/http.PostForm":
+		p.Reportf("ctxflow", call.Pos(),
+			"%s uses the deadline-free default client; use a client with Timeout and http.NewRequestWithContext", key)
+	case "net/http.NewRequest":
+		p.Reportf("ctxflow", call.Pos(),
+			"http.NewRequest drops the caller's context; use http.NewRequestWithContext")
+	case "context.Background", "context.TODO":
+		if ctx != "" && ctx != "_" {
+			p.Reportf("ctxflow", call.Pos(),
+				"%s() inside a function that receives %s drops the caller's deadline; derive from %s instead", key[len("context."):], ctx, ctx)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckResultsAnalyzer flags silently discarded errors on the
+// result and wire paths: a dropped Close after a write, a dropped
+// Encode on an HTTP response, or a dropped Rename in the temp+rename
+// persistence dance all turn a half-written artifact into one that
+// looks committed. The rule fires when a call whose final result is an
+// error is used as a bare statement (or a bare defer) and the callee is
+// one of the persistence-critical names below. Writing `_ = f.Close()`
+// is an explicit, reviewed discard and is allowed — the finding targets
+// the silent form only.
+//
+// Read-side closes are exempt: closing a file opened with os.Open, or
+// an io.ReadCloser (an HTTP response body), cannot lose data, so its
+// error is noise. Writes to bytes.Buffer and strings.Builder are also
+// exempt — their Write methods are documented to never return an error.
+var ErrcheckResultsAnalyzer = &Analyzer{
+	Name: "errcheck-results",
+	Doc:  "forbid silently discarded errors from Close/Encode/Write/Flush/Sync/Rename on result and wire paths",
+	Run:  runErrcheckResults,
+}
+
+// errcheckNames are the method/function names whose error results guard
+// data durability or wire integrity. Scoping by name rather than by
+// package keeps the rule cheap and makes the policy file the place that
+// decides which packages are on a result path.
+var errcheckNames = map[string]bool{
+	"Close":       true,
+	"Encode":      true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteTo":     true,
+	"Flush":       true,
+	"Sync":        true,
+	"Rename":      true,
+	"WriteFile":   true,
+}
+
+func runErrcheckResults(p *Pass) {
+	if !p.Policy.Applies("errcheck-results", p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.errcheckFunc(fd)
+		}
+	}
+}
+
+func (p *Pass) errcheckFunc(fd *ast.FuncDecl) {
+	readOnly := p.readOnlyHandles(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				p.checkDiscardedError(call, readOnly, false)
+			}
+		case *ast.DeferStmt:
+			// A deferred closure body is walked normally; only the
+			// defer's own call is checked here.
+			p.checkDiscardedError(n.Call, readOnly, true)
+		}
+		return true
+	})
+}
+
+// readOnlyHandles collects the printed receivers bound to os.Open
+// results within fd: files opened for reading, whose Close cannot lose
+// written data.
+func (p *Pass) readOnlyHandles(fd *ast.FuncDecl) map[string]bool {
+	handles := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || funcKey(p.calleeFunc(call)) != "os.Open" {
+			return true
+		}
+		handles[p.exprString(assign.Lhs[0])] = true
+		return true
+	})
+	return handles
+}
+
+func (p *Pass) checkDiscardedError(call *ast.CallExpr, readOnly map[string]bool, deferred bool) {
+	name := calleeName(call)
+	if name == "" || !errcheckNames[name] {
+		return
+	}
+	if !p.lastResultIsError(call) {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if name == "Close" && (readOnly[p.exprString(sel.X)] || p.isReadCloser(sel.X)) {
+			return
+		}
+		if p.isInfallibleWriter(sel.X) {
+			return
+		}
+	}
+	how := "check the error"
+	if deferred {
+		how = "close explicitly on the success path, or fold the error into a named return"
+	}
+	p.Reportf("errcheck-results", call.Pos(),
+		"%s returns an error that is silently discarded; on a result or wire path a failed %s means the artifact only looks committed — %s, or write `_ = ...` to mark the discard deliberate", name, name, how)
+}
+
+// isReadCloser reports whether e's static type is the io.ReadCloser
+// interface — a read-side handle (an HTTP response body) whose Close
+// error carries no durability signal.
+func (p *Pass) isReadCloser(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "io" && obj.Name() == "ReadCloser"
+}
+
+// isInfallibleWriter reports whether e is a bytes.Buffer or
+// strings.Builder, whose write methods are documented to always return
+// a nil error.
+func (p *Pass) isInfallibleWriter(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named := namedOrPtr(tv.Type)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// calleeName returns the bare function or method name of a call ("" for
+// indirect calls through non-selector expressions).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// lastResultIsError reports whether the call's final result is of type
+// error. Calls returning no values, or values whose tail is not an
+// error, are of no interest to this rule.
+func (p *Pass) lastResultIsError(call *ast.CallExpr) bool {
+	tv, ok := p.Pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

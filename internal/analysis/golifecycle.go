@@ -1,0 +1,235 @@
+package analysis
+
+import "go/ast"
+
+// GoLifecycleAnalyzer requires every `go` statement in covered packages
+// to have a provable join or cancel edge, so no goroutine outlives its
+// owner:
+//
+//   - WaitGroup pairing: wg.Add(...) before the launch in the same
+//     function, wg.Done() (usually deferred) inside the body — an Add
+//     without a Done, or a Done without a prior Add, is its own finding;
+//   - cancellation: the body waits on ctx.Done() (receive or select);
+//   - done-channel: the body receives from (or ranges over) a channel;
+//   - result join: the body sends on a channel the launching function
+//     also receives from, or on a channel stored in a struct field
+//     (the owner drains it — the serve/dist serveErr pattern).
+//
+// Launching a named function (`go fn(...)`) is accepted when a channel,
+// context, or WaitGroup flows into the call — the lifecycle is handed to
+// the callee — and reported otherwise.
+var GoLifecycleAnalyzer = &Analyzer{
+	Name: "goroutine-lifecycle",
+	Doc:  "require every go statement to have a provable join or cancel edge",
+	Run:  runGoLifecycle,
+}
+
+func runGoLifecycle(p *Pass) {
+	if !p.Policy.Applies("goroutine-lifecycle", p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.checkGoStmt(fd, g)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (p *Pass) checkGoStmt(fd *ast.FuncDecl, g *ast.GoStmt) {
+	lit, isLit := g.Call.Fun.(*ast.FuncLit)
+	if !isLit {
+		// Named launch: accept when lifecycle state flows into the call
+		// (channel/context/WaitGroup argument or receiver), otherwise the
+		// callee has no way to be joined or canceled.
+		if p.lifecycleFlowsIn(g.Call) || p.addBefore(fd, g, "") {
+			return
+		}
+		p.Reportf("goroutine-lifecycle", g.Pos(),
+			"go %s has no join or cancel edge (no channel/ctx/WaitGroup flows into the call); the goroutine can outlive its owner", p.exprString(g.Call.Fun))
+		return
+	}
+
+	// WaitGroup pairing.
+	doneRecv := p.wgDoneIn(lit.Body)
+	if doneRecv != "" {
+		if p.addBefore(fd, g, doneRecv) {
+			return
+		}
+		p.Reportf("goroutine-lifecycle", g.Pos(),
+			"goroutine calls %s.Done() but no %s.Add(...) precedes the launch in %s; Wait can return before this goroutine finishes", doneRecv, doneRecv, fd.Name.Name)
+		return
+	}
+
+	// Cancellation or done-channel edge inside the body. Passing the
+	// ctx into a call counts: the callee returns on cancellation, which
+	// bounds the goroutine (the `go func() { ch <- w.Run(ctx) }()` shape).
+	if p.waitsOnChannel(lit.Body) || p.ctxFlowsInto(lit.Body) {
+		return
+	}
+
+	// Result-join edge: the body sends on a channel the launcher drains
+	// or that an owner struct carries.
+	if p.sendsJoined(fd, lit.Body) {
+		return
+	}
+
+	p.Reportf("goroutine-lifecycle", g.Pos(),
+		"goroutine has no provable join or cancel edge (WaitGroup Add/Done pairing, done-channel or ctx.Done() wait, or a drained result channel); it can outlive its owner")
+}
+
+// lifecycleFlowsIn reports whether a channel-, context-, or
+// WaitGroup-typed value appears in the call's arguments or receiver.
+func (p *Pass) lifecycleFlowsIn(call *ast.CallExpr) bool {
+	exprs := append([]ast.Expr{}, call.Args...)
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, e := range exprs {
+		tv, ok := p.Pkg.Info.Types[e]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if p.isChanType(e) || isContextType(tv.Type) {
+			return true
+		}
+		if named := namedOrPtr(tv.Type); named != nil {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wgDoneIn returns the printed receiver of a WaitGroup Done() call in
+// body ("" if none), e.g. "wg" or "s.wg".
+func (p *Pass) wgDoneIn(body *ast.BlockStmt) string {
+	recv := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if funcKey(p.calleeFunc(call)) == "sync.WaitGroup.Done" {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				recv = p.exprString(sel.X)
+				return false
+			}
+		}
+		return true
+	})
+	return recv
+}
+
+// addBefore reports whether an Add(...) call on a WaitGroup precedes g
+// in fd's body. When recv is non-empty the printed receivers must match
+// (wg.Add pairs with wg.Done, not someone else's).
+func (p *Pass) addBefore(fd *ast.FuncDecl, g *ast.GoStmt, recv string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		if funcKey(p.calleeFunc(call)) != "sync.WaitGroup.Add" {
+			return true
+		}
+		if recv != "" {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); !ok || p.exprString(sel.X) != recv {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// ctxFlowsInto reports whether a context-typed value is passed to any
+// call inside body, bounding the goroutine by the context's lifetime.
+func (p *Pass) ctxFlowsInto(body *ast.BlockStmt) bool {
+	flows := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			tv, ok := p.Pkg.Info.Types[arg]
+			if ok && tv.Type != nil && isContextType(tv.Type) {
+				flows = true
+				return false
+			}
+		}
+		return true
+	})
+	return flows
+}
+
+// waitsOnChannel reports whether body blocks on a channel: a bare
+// receive, a select with a comm case, or a range over a channel. Any of
+// them is a cancel/done edge — closing the channel (or canceling the
+// ctx whose Done() it is) releases the goroutine.
+func (p *Pass) waitsOnChannel(body *ast.BlockStmt) bool {
+	waits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				waits = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if p.isChanType(n.X) {
+				waits = true
+				return false
+			}
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+					waits = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return waits
+}
+
+// sendsJoined reports whether body sends on a channel that is either a
+// struct field (the owner is responsible for draining it) or received
+// from somewhere in the launching function.
+func (p *Pass) sendsJoined(fd *ast.FuncDecl, body *ast.BlockStmt) bool {
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if _, isField := ast.Unparen(send.Chan).(*ast.SelectorExpr); isField {
+			joined = true
+			return false
+		}
+		chanKey := p.exprString(send.Chan)
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			if u, ok := m.(*ast.UnaryExpr); ok && u.Op.String() == "<-" && p.exprString(u.X) == chanKey {
+				joined = true
+				return false
+			}
+			return true
+		})
+		return !joined
+	})
+	return joined
+}

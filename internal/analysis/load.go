@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -31,7 +33,9 @@ type Package struct {
 // standard-library imports are type-checked from $GOROOT/src by the
 // stdlib source importer. This keeps go.mod dependency-free at the cost
 // of supporting only the layout this repo actually uses (one module, no
-// external imports, no cgo, no build tags).
+// external imports, no cgo). Files whose //go:build (or legacy +build)
+// constraint excludes the host GOOS/GOARCH are skipped, so a
+// platform-gated file cannot poison type-checking for the whole package.
 type Loader struct {
 	RootDir    string // absolute module root (directory containing go.mod)
 	ModulePath string
@@ -222,7 +226,14 @@ func (l *Loader) loadPackage(path string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if buildExcluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -242,13 +253,76 @@ func (l *Loader) loadPackage(path string) (*Package, error) {
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{Importer: (*loaderImporter)(l)}
+	var terrs []types.Error
+	conf.Error = func(err error) {
+		if te, ok := err.(types.Error); ok {
+			terrs = append(terrs, te)
+		}
+	}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(terrs) > 0 {
+		return nil, &TypeError{Path: path, Errs: terrs}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
 	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// TypeError aggregates the positioned type-check diagnostics of one
+// package so the driver can print every broken line, not just the first,
+// before exiting with a usage/load error.
+type TypeError struct {
+	Path string
+	Errs []types.Error
+}
+
+func (e *TypeError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "analysis: type-checking %s failed:", e.Path)
+	const maxShown = 10
+	shown := len(e.Errs)
+	if shown > maxShown {
+		shown = maxShown
+	}
+	for _, te := range e.Errs[:shown] {
+		fmt.Fprintf(&b, "\n\t%s: %s", te.Fset.Position(te.Pos), te.Msg)
+	}
+	if len(e.Errs) > shown {
+		fmt.Fprintf(&b, "\n\t... and %d more", len(e.Errs)-shown)
+	}
+	return b.String()
+}
+
+// buildExcluded reports whether src's build constraint (a //go:build or
+// legacy // +build line above the package clause) excludes the host
+// configuration. Files with no constraint are always included.
+func buildExcluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			continue
+		}
+		if !expr.Eval(buildTagSatisfied) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildTagSatisfied treats the host OS/arch, the gc toolchain, and every
+// release tag as set; anything else (ignore, integration, ...) is unset.
+func buildTagSatisfied(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" {
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // loaderImporter resolves module-internal imports through the Loader and

@@ -1,0 +1,440 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"nnwc/internal/analysis/cfg"
+)
+
+// LockholdAnalyzer enforces lock discipline on the serve/dist planes,
+// CFG-based (internal/analysis/cfg) and defer-aware:
+//
+//  1. no blocking operation — channel send/receive, select without
+//     default, time.Sleep, HTTP round trips, file I/O, Wait/Shutdown, or
+//     a call to a package-local function that transitively blocks — may
+//     run while a sync.Mutex/RWMutex is held (may-analysis over all CFG
+//     paths; `defer mu.Unlock()` keeps the lock held to function exit);
+//  2. a goroutine closure must not read a struct field that the
+//     package's mutex-using methods reassign (the coordinator
+//     Start/close race: the Serve goroutine read c.http after close()
+//     nil'd it) — capture the value before the `go` statement or lock
+//     around the read.
+var LockholdAnalyzer = &Analyzer{
+	Name: "lockhold",
+	Doc:  "forbid blocking operations while a mutex is held; guard goroutine reads of lock-managed fields",
+	Run:  runLockhold,
+}
+
+func runLockhold(p *Pass) {
+	if !p.Policy.Applies("lockhold", p.Pkg.Path) {
+		return
+	}
+	lh := &lockholdPass{Pass: p, decls: map[types.Object]*ast.FuncDecl{}, blocking: map[*ast.FuncDecl]string{}}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lh.fns = append(lh.fns, fd)
+				if obj := p.Pkg.Info.Defs[fd.Name]; obj != nil {
+					lh.decls[obj] = fd
+				}
+			}
+		}
+	}
+	lh.computeBlocking()
+	guarded := lh.guardedFields()
+	for _, fd := range lh.fns {
+		lh.checkHeldRegions(fd)
+		lh.checkGoroutineReads(fd, guarded)
+	}
+}
+
+type lockholdPass struct {
+	*Pass
+	fns      []*ast.FuncDecl
+	decls    map[types.Object]*ast.FuncDecl
+	blocking map[*ast.FuncDecl]string // fn → why it (transitively) blocks
+}
+
+// computeBlocking marks package functions that block: first directly,
+// then transitively through package-local calls (fixpoint). Goroutine
+// launches and closure bodies are skipped — their blocking happens on
+// another goroutine or at a later call site.
+func (lh *lockholdPass) computeBlocking() {
+	calls := map[*ast.FuncDecl][]*ast.FuncDecl{}
+	for _, fd := range lh.fns {
+		walkSync(fd.Body, func(n ast.Node) bool {
+			if desc, _ := lh.directBlocking(n); desc != "" && lh.blocking[fd] == "" {
+				lh.blocking[fd] = desc
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := lh.calleeDecl(call); callee != nil {
+					calls[fd] = append(calls[fd], callee)
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range lh.fns {
+			if lh.blocking[fd] != "" {
+				continue
+			}
+			for _, callee := range calls[fd] {
+				if why := lh.blocking[callee]; why != "" {
+					lh.blocking[fd] = fmt.Sprintf("call to %s (%s)", callee.Name.Name, why)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+func (lh *lockholdPass) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
+	fn := lh.calleeFunc(call)
+	if fn == nil {
+		return nil
+	}
+	return lh.decls[fn]
+}
+
+// directBlocking classifies one AST node as a blocking operation,
+// returning a description and the position to report.
+func (lh *lockholdPass) directBlocking(n ast.Node) (string, token.Pos) {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send", n.Pos()
+	case *ast.UnaryExpr:
+		if n.Op.String() == "<-" {
+			return "channel receive", n.Pos()
+		}
+	case *ast.RangeStmt:
+		if lh.isChanType(n.X) {
+			return "range over channel", n.Pos()
+		}
+	case *ast.SelectStmt:
+		for _, cl := range n.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+				return "", token.NoPos // has default: non-blocking poll
+			}
+		}
+		return "select without default", n.Pos()
+	case *ast.CallExpr:
+		if desc, ok := blockingCalls[funcKey(lh.calleeFunc(n))]; ok {
+			return desc, n.Pos()
+		}
+	}
+	return "", token.NoPos
+}
+
+// walkSync visits n's tree skipping go statements and closure bodies:
+// the operations inside run on another goroutine or at a later call.
+// fn returns false to skip a node's subtree.
+func walkSync(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case nil:
+			return true
+		}
+		return fn(c)
+	})
+}
+
+// heldState is the set of held lock keys ("c.mu", "mu.RLock" receivers).
+type heldState map[string]bool
+
+func (s heldState) clone() heldState {
+	c := make(heldState, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s heldState) equal(o heldState) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s heldState) keys() string {
+	var ks []string
+	for k := range s {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ", ")
+}
+
+// checkHeldRegions runs the may-hold dataflow over fd's CFG and reports
+// blocking operations reached with a non-empty held set.
+func (lh *lockholdPass) checkHeldRegions(fd *ast.FuncDecl) {
+	g := cfg.New(fd.Body)
+	blocks := g.Reachable()
+	in := map[int]heldState{}
+	in[g.Entry.Index] = heldState{}
+
+	// Comm operations of a select that has a default clause are
+	// non-blocking polls; exempt their send/receive nodes.
+	polled := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+				ast.Inspect(comm.Comm, func(c ast.Node) bool {
+					if c != nil {
+						polled[c] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	transfer := func(state heldState, node ast.Node, report bool) heldState {
+		walkSync(node, func(n ast.Node) bool {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				return false // deferred calls run at exit, not here
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if method, recv := lh.mutexMethod(call); method != "" {
+					switch method {
+					case "Lock", "RLock", "TryLock", "TryRLock":
+						state[recv] = true
+					case "Unlock", "RUnlock":
+						delete(state, recv)
+					}
+					return false
+				}
+			}
+			if len(state) == 0 || !report || polled[n] {
+				return true
+			}
+			desc, pos := lh.directBlocking(n)
+			if desc == "" {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := lh.calleeDecl(call); callee != nil {
+						if why := lh.blocking[callee]; why != "" {
+							desc, pos = fmt.Sprintf("call to %s, which blocks (%s)", callee.Name.Name, why), n.Pos()
+						}
+					}
+				}
+			}
+			if desc != "" {
+				lh.Reportf("lockhold", pos,
+					"blocking operation (%s) while holding %s; release the mutex before blocking", desc, state.keys())
+			}
+			return true
+		})
+		return state
+	}
+
+	// Deferred statements inside a node are skipped by transfer; a
+	// deferred Unlock keeps the lock held through the rest of the body,
+	// which is exactly the semantics we want to model.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			state, ok := in[b.Index]
+			if !ok {
+				continue
+			}
+			out := state.clone()
+			for _, node := range b.Nodes {
+				out = transfer(out, node, false)
+			}
+			for _, succ := range b.Succs {
+				prev, seen := in[succ.Index]
+				if !seen {
+					in[succ.Index] = out.clone()
+					changed = true
+					continue
+				}
+				merged := prev.clone()
+				for k := range out {
+					merged[k] = true
+				}
+				if !merged.equal(prev) {
+					in[succ.Index] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	// Reporting pass: re-run each block's transfer with reporting on.
+	// Diagnostics deduplicate naturally because Reportf positions repeat
+	// only if the fixpoint loop ran them twice — hence the split passes.
+	for _, b := range blocks {
+		state, ok := in[b.Index]
+		if !ok {
+			continue
+		}
+		s := state.clone()
+		for _, node := range b.Nodes {
+			s = transfer(s, node, true)
+		}
+	}
+}
+
+// guardedField identifies a struct field managed under its struct's
+// mutex: reassigned in a function that also locks the struct's mutex on
+// the same receiver.
+type guardedField struct {
+	typ   *types.Named
+	field string
+}
+
+// guardedFields scans every function for the pattern `x.f = ...` where
+// x's type carries a sync.Mutex/RWMutex field m and the same function
+// locks x.m somewhere. Those (type, field) pairs are lock-managed: a
+// goroutine closure reading them unlocked races with the reassignment.
+func (lh *lockholdPass) guardedFields() map[guardedField]string {
+	guarded := map[guardedField]string{}
+	for _, fd := range lh.fns {
+		// Lock receivers used in this function, e.g. {"c.mu", "s.mu"}.
+		locked := map[string]bool{}
+		walkSync(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if method, recv := lh.mutexMethod(call); method == "Lock" || method == "RLock" {
+					locked[recv] = true
+				}
+			}
+			return true
+		})
+		if len(locked) == 0 {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, l := range assign.Lhs {
+				sel, ok := l.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				tv, ok := lh.Pkg.Info.Types[sel.X]
+				if !ok {
+					continue
+				}
+				named := namedOrPtr(tv.Type)
+				if named == nil {
+					continue
+				}
+				recv := lh.exprString(sel.X)
+				for _, m := range mutexFieldNames(named) {
+					if locked[recv+"."+m] {
+						guarded[guardedField{named, sel.Sel.Name}] = fd.Name.Name + " (guarded by " + m + ")"
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// mutexFieldNames lists the sync.Mutex/RWMutex fields of named's
+// underlying struct.
+func mutexFieldNames(named *types.Named) []string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fn := namedOrPtr(f.Type())
+		if fn == nil {
+			continue
+		}
+		obj := fn.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+// checkGoroutineReads flags goroutine closures that read lock-managed
+// fields without holding the mutex: the closure runs after the launching
+// statement returns, when a locked method may already have reassigned
+// the field underneath it.
+func (lh *lockholdPass) checkGoroutineReads(fd *ast.FuncDecl, guarded map[guardedField]string) {
+	if len(guarded) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		// A closure that takes the mutex itself synchronizes its reads.
+		locksInside := false
+		ast.Inspect(lit.Body, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if m, _ := lh.mutexMethod(call); m == "Lock" || m == "RLock" {
+					locksInside = true
+				}
+			}
+			return true
+		})
+		if locksInside {
+			return true
+		}
+		ast.Inspect(lit.Body, func(c ast.Node) bool {
+			sel, ok := c.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := lh.Pkg.Info.Types[sel.X]
+			if !ok {
+				return true
+			}
+			named := namedOrPtr(tv.Type)
+			if named == nil {
+				return true
+			}
+			if where, hit := guarded[guardedField{named, sel.Sel.Name}]; hit {
+				lh.Reportf("lockhold", sel.Pos(),
+					"goroutine reads %s, which %s reassigns under lock; capture the value before the go statement or lock around the read",
+					lh.exprString(sel), where)
+				return false
+			}
+			return true
+		})
+		return true
+	})
+}

@@ -1,0 +1,84 @@
+// Package ctxflow is a lint fixture for deadline discipline on blocking
+// HTTP-plane operations.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// legacyServer is the exact shape the serve plane shipped before the
+// httpx package existed: ReadHeaderTimeout alone leaves the read, write,
+// and idle timeouts unbounded, so one stalled client pins its connection
+// forever. The ctxflow rule exists to keep this shape from returning.
+func legacyServer(h http.Handler) *http.Server {
+	return &http.Server{ // want "http.Server literal leaves ReadTimeout/WriteTimeout/IdleTimeout unset"
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+}
+
+func boundedServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+}
+
+func naiveClient() *http.Client {
+	return &http.Client{} // want "http.Client literal without Timeout"
+}
+
+func boundedClient() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func fetch(url string) error {
+	resp, err := http.Get(url) // want "net/http.Get uses the deadline-free default client"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func request(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want "http.NewRequest drops the caller's context"
+}
+
+func requestCtx(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+func dropsDeadline(ctx context.Context) context.Context {
+	return context.Background() // want "drops the caller's deadline"
+}
+
+func bareReceive(ctx context.Context, ch chan int) int {
+	return <-ch // want "blocking receive ignores the function's ctx parameter"
+}
+
+func selectReceive(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+var (
+	_ = legacyServer
+	_ = boundedServer
+	_ = naiveClient
+	_ = boundedClient
+	_ = fetch
+	_ = request
+	_ = requestCtx
+	_ = dropsDeadline
+	_ = bareReceive
+	_ = selectReceive
+)

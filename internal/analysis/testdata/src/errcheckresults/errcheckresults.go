@@ -1,0 +1,74 @@
+// Package errcheckresults is a lint fixture for silently discarded
+// errors on result and wire paths.
+package errcheckresults
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+)
+
+// A bare Close after writing: the artifact only looks committed.
+func persist(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // explicit discard: the write error is the one returned
+		return err
+	}
+	f.Close() // want "Close returns an error that is silently discarded"
+	return nil
+}
+
+// A deferred Close on a written file drops the flush error too.
+func persistDeferred(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "Close returns an error that is silently discarded"
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// The wire path: a failed Encode leaves the peer a truncated reply.
+func reply(w http.ResponseWriter, v any) {
+	json.NewEncoder(w).Encode(v) // want "Encode returns an error that is silently discarded"
+}
+
+// Closing a file opened for reading cannot lose data: exempt.
+func readSide(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// An http.Response body is an io.ReadCloser — read-side close: exempt.
+func drain(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// bytes.Buffer writes are documented to never fail: exempt.
+func render() string {
+	var b bytes.Buffer
+	b.WriteString("ok")
+	b.Write([]byte("!"))
+	return b.String()
+}
+
+var (
+	_ = persist
+	_ = persistDeferred
+	_ = reply
+	_ = readSide
+	_ = drain
+	_ = render
+)

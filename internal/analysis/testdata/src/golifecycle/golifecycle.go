@@ -1,0 +1,93 @@
+// Package golifecycle is a lint fixture for goroutine join/cancel
+// discipline. Every `go` statement also draws the sched rule's
+// raw-goroutine finding under the empty fixture policy — the two rules
+// are deliberately complementary (sched: who may spawn; lifecycle: each
+// spawn must be joinable).
+package golifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+var counter int
+
+// No join or cancel edge at all: the goroutine can outlive its owner.
+func fireAndForget() {
+	go func() { // want "raw goroutine" "no provable join or cancel edge"
+		counter++
+	}()
+}
+
+// WaitGroup pairing: Add before the launch, Done inside. Clean.
+func joined(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "raw goroutine"
+		defer wg.Done()
+		counter += n
+	}()
+	wg.Wait()
+}
+
+// Done without a preceding Add: Wait can return before the goroutine.
+func doneWithoutAdd() {
+	var wg sync.WaitGroup
+	go func() { // want "raw goroutine" "no wg.Add(...) precedes the launch"
+		defer wg.Done()
+		counter++
+	}()
+	wg.Wait()
+}
+
+// Done-channel edge: closing done releases the goroutine. Clean.
+func cancelable(done chan struct{}) {
+	go func() { // want "raw goroutine"
+		<-done
+		counter++
+	}()
+}
+
+// The ctx flows into the body's call, bounding the goroutine by the
+// caller's cancellation. Clean.
+func ctxBounded(ctx context.Context) {
+	go func() { // want "raw goroutine"
+		runUntil(ctx)
+	}()
+}
+
+func runUntil(ctx context.Context) { <-ctx.Done() }
+
+// Result-join: the launcher drains the channel the goroutine sends on.
+func resultJoin() int {
+	ch := make(chan int)
+	go func() { // want "raw goroutine"
+		ch <- 1
+	}()
+	return <-ch
+}
+
+// Named launch with no lifecycle state flowing in.
+func namedUnjoined() {
+	go leak() // want "raw goroutine" "go leak has no join or cancel edge"
+}
+
+func leak() { counter++ }
+
+// Named launch handed a channel: the callee owns the join edge. Clean.
+func namedJoined(ch chan int) {
+	go produce(ch) // want "raw goroutine"
+}
+
+func produce(ch chan int) { ch <- 1 }
+
+var (
+	_ = fireAndForget
+	_ = joined
+	_ = doneWithoutAdd
+	_ = cancelable
+	_ = ctxBounded
+	_ = resultJoin
+	_ = namedUnjoined
+	_ = namedJoined
+)

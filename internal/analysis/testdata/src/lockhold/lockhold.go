@@ -1,0 +1,97 @@
+// Package lockhold is a lint fixture for blocking-under-mutex and
+// lock-managed-field discipline.
+package lockhold
+
+import (
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu    sync.Mutex
+	conn  *os.File // stand-in for the coordinator's http.Server field
+	errs  chan error
+	state int
+}
+
+// Blocking while the deferred Unlock keeps the lock held to exit.
+func (s *server) deferHold(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state++
+	<-ch // want "blocking operation (channel receive) while holding s.mu"
+}
+
+// Releasing before blocking is the fix shape: clean.
+func (s *server) releaseFirst(ch chan int) {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	<-ch
+}
+
+// A select with a default clause is a poll, not a block: clean.
+func (s *server) poll(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.state = v
+	default:
+	}
+}
+
+// Transitive blocking: persist does file I/O, so calling it under the
+// lock is as bad as inlining the write.
+func (s *server) persistLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	persist() // want "call to persist, which blocks"
+}
+
+func persist() {
+	f, err := os.Create("state")
+	if err != nil {
+		return
+	}
+	_, _ = f.Write([]byte("x"))
+	_ = f.Close()
+}
+
+// The coordinator Start/close race shape (fixed two PRs ago): closeConn
+// reassigns s.conn under s.mu, so the serve goroutine's unlocked read
+// races with the nil'ing — exactly the -race failure the fleet hit.
+func (s *server) start() {
+	go func() { // want "raw goroutine"
+		s.errs <- use(s.conn) // want "goroutine reads s.conn, which closeConn"
+	}()
+}
+
+func (s *server) closeConn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn = nil
+}
+
+// The fix shape: capture the value before the go statement.
+func (s *server) startFixed() {
+	conn := s.conn
+	go func() { // want "raw goroutine"
+		s.errs <- use(conn)
+	}()
+}
+
+func use(f *os.File) error {
+	_ = f
+	return nil
+}
+
+var (
+	_ = (*server).deferHold
+	_ = (*server).releaseFirst
+	_ = (*server).poll
+	_ = (*server).persistLocked
+	_ = (*server).start
+	_ = (*server).closeConn
+	_ = (*server).startFixed
+)

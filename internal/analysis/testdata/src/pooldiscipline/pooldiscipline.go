@@ -1,0 +1,83 @@
+// Package pooldiscipline is a lint fixture for sync.Pool Get/Put
+// pairing and use-after-Put detection.
+package pooldiscipline
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Get with a deferred Put covers every exit path. Clean.
+func balanced() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.Reset()
+	b.WriteString("ok")
+	return b.String()
+}
+
+// One branch Puts, the other exits with the value live.
+func leakOnBranch(cond bool) {
+	b := bufPool.Get().(*bytes.Buffer) // want "can reach function exit without Put"
+	b.Reset()
+	if cond {
+		bufPool.Put(b)
+	}
+}
+
+// The pool may have handed b to another goroutine the moment Put ran.
+func useAfterPut() int {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	bufPool.Put(b)
+	return b.Len() // want "used after Put"
+}
+
+// A second Put hands the pool a duplicate entry.
+func doublePut() {
+	b := bufPool.Get().(*bytes.Buffer)
+	bufPool.Put(b)
+	bufPool.Put(b) // want "a second Put hands the pool a duplicate"
+}
+
+// Returning the value moves the Put obligation to the caller. Clean —
+// this is the acquire-helper pattern.
+func acquire() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// wsPool is the typed-wrapper shape (sched.Pool[T]): a struct embedding
+// sync.Pool gets the same discipline as the raw type.
+type ws struct{ buf []float64 }
+
+type wsPool struct{ p sync.Pool }
+
+func (w *wsPool) Get() *ws  { v, _ := w.p.Get().(*ws); return v }
+func (w *wsPool) Put(v *ws) { w.p.Put(v) }
+
+func wrapperLeak(p *wsPool, cond bool) {
+	v := p.Get() // want "can reach function exit without Put"
+	if cond {
+		p.Put(v)
+	}
+}
+
+func wrapperBalanced(p *wsPool) {
+	v := p.Get()
+	defer p.Put(v)
+	v.buf = v.buf[:0]
+}
+
+var (
+	_ = balanced
+	_ = leakOnBranch
+	_ = useAfterPut
+	_ = doublePut
+	_ = acquire
+	_ = wrapperLeak
+	_ = wrapperBalanced
+)

@@ -4,7 +4,7 @@ package sched
 func spawn(ch chan int) {
 	go work(ch) // want "raw goroutine"
 
-	go func() { // want "raw goroutine"
+	go func() { // want "raw goroutine" "no provable join or cancel edge"
 		work(ch)
 	}()
 

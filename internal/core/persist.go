@@ -171,7 +171,7 @@ func (m *NNModel) SaveFile(path string) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := m.Save(tmp); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the save error is the one worth returning
 		return err
 	}
 	if err := tmp.Close(); err != nil {

@@ -409,3 +409,89 @@ func postJSONT(t *testing.T, client *http.Client, url string, in, out any) {
 		t.Fatal(err)
 	}
 }
+
+// TestArtifactPathConcurrentFetch pins the ArtifactPath locking contract:
+// artMu guards only the in-memory path map, so concurrent resolutions of
+// the same artifact must neither race nor serialize behind one download,
+// and every caller must end up with the same verified bytes. (Before the
+// fix the mutex was held across the HTTP fetch, so one slow artifact
+// stalled every other resolution in the process.)
+func TestArtifactPathConcurrentFetch(t *testing.T) {
+	dir := t.TempDir()
+	content := []byte("rate,threads\n480,8\n560,16\n")
+	path := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sha := obs.HashBytes(content)
+	spec := toySpec(1)
+	spec.Artifacts = map[string]string{"dataset": sha}
+	c := newTestCoordinator(t, CoordinatorConfig{Spec: spec, ArtifactPaths: map[string]string{sha: path}})
+	w := newTestWorker(t, c.Addr(), map[string]Runner{"toy": toyRunner})
+
+	const callers = 8
+	paths := make([]string, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths[i], errs[i] = w.ArtifactPath(context.Background(), sha)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		b, err := os.ReadFile(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(content) {
+			t.Fatalf("caller %d: artifact bytes differ: %q", i, b)
+		}
+	}
+	go w.Run(context.Background())
+	if _, err := c.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorCloseConcurrentProgress pins the close() locking fix:
+// shutdown detaches the journal and recorder under c.mu but performs the
+// file I/O after releasing it, so status reads racing a shutdown can
+// neither deadlock behind a disk flush nor observe torn state. The
+// pollers deliberately keep hammering Progress/CoordStats through the
+// linger window in which close() runs.
+func TestCoordinatorCloseConcurrentProgress(t *testing.T) {
+	state := filepath.Join(t.TempDir(), StateFileName)
+	c := newTestCoordinator(t, CoordinatorConfig{Spec: toySpec(8), StateFile: state, LeaseSize: 2})
+	w := newTestWorker(t, c.Addr(), map[string]Runner{"toy": toyRunner})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.Progress()
+					_ = c.CoordStats()
+				}
+			}
+		}()
+	}
+	go w.Run(context.Background())
+	if _, err := c.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // overlap the pollers with the post-Wait close
+	close(stop)
+	wg.Wait()
+}

@@ -48,16 +48,21 @@ func artifactSHA(spec dist.Spec, role string) (string, error) {
 
 // dataset resolves and parses the job's dataset artifact, memoized by
 // content hash. The returned dataset is shared — clone before mutating.
+// mu guards only the map: the artifact fetch and CSV parse run unlocked
+// so a slow resolution cannot serialize unrelated tasks, and the
+// publish re-checks the map so every caller shares the first-stored
+// parse (racing parsers discard their copy).
 func (c *artifactCache) dataset(ctx context.Context, env dist.Env, spec dist.Spec) (*workload.Dataset, error) {
 	sha, err := artifactSHA(spec, RoleDataset)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if ds, ok := c.datasets[sha]; ok {
+		c.mu.Unlock()
 		return ds, nil
 	}
+	c.mu.Unlock()
 	path, err := env.ArtifactPath(ctx, sha)
 	if err != nil {
 		return nil, err
@@ -71,22 +76,29 @@ func (c *artifactCache) dataset(ctx context.Context, env dist.Env, spec dist.Spe
 	if err != nil {
 		return nil, fmt.Errorf("jobs: parsing dataset %s: %w", sha, err)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.datasets[sha]; ok {
+		return existing, nil
+	}
 	c.datasets[sha] = ds
 	return ds, nil
 }
 
 // model resolves and parses the job's model artifact, memoized by content
-// hash. Models are read-only through Predict, so sharing is safe.
+// hash. Models are read-only through Predict, so sharing is safe. Locking
+// follows dataset: map access under mu, fetch and parse outside it.
 func (c *artifactCache) model(ctx context.Context, env dist.Env, spec dist.Spec) (*core.NNModel, error) {
 	sha, err := artifactSHA(spec, RoleModel)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if m, ok := c.models[sha]; ok {
+		c.mu.Unlock()
 		return m, nil
 	}
+	c.mu.Unlock()
 	path, err := env.ArtifactPath(ctx, sha)
 	if err != nil {
 		return nil, err
@@ -94,6 +106,11 @@ func (c *artifactCache) model(ctx context.Context, env dist.Env, spec dist.Spec)
 	m, err := core.LoadModelFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: loading model %s: %w", sha, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.models[sha]; ok {
+		return existing, nil
 	}
 	c.models[sha] = m
 	return m, nil

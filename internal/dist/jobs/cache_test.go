@@ -1,0 +1,115 @@
+package jobs
+
+// Regression tests for the artifact cache's locking contract: mu guards
+// only the maps, fetch and parse run unlocked, and the publish re-checks
+// the map so racing parsers discard their copy. Before the fix, the
+// mutex was held across the fetch and parse, so one slow artifact
+// resolution serialized every unrelated task in the process.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"nnwc/internal/core"
+	"nnwc/internal/dist"
+	"nnwc/internal/train"
+	"nnwc/internal/workload"
+)
+
+// stubEnv resolves every artifact to one local file, standing in for the
+// worker's fetch-over-HTTP path.
+type stubEnv struct{ path string }
+
+func (e stubEnv) ArtifactPath(ctx context.Context, sha string) (string, error) {
+	return e.path, nil
+}
+
+func newTestCache() *artifactCache {
+	return &artifactCache{
+		datasets:  make(map[string]*workload.Dataset),
+		models:    make(map[string]*core.NNModel),
+		baselines: make(map[string]*importanceBaseline),
+	}
+}
+
+// TestArtifactCacheConcurrentDataset pins that concurrent callers
+// neither race nor get private copies: all eight must share the one
+// first-published parse of the dataset.
+func TestArtifactCacheConcurrentDataset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	csv := "rate,threads,y:throughput\n480,8,120\n560,16,130\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache := newTestCache()
+	spec := dist.Spec{Kind: "toy", Artifacts: map[string]string{RoleDataset: "sha-dataset"}}
+
+	const callers = 8
+	got := make([]*workload.Dataset, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = cache.dataset(context.Background(), stubEnv{path: path}, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if got[i] != got[0] {
+			t.Errorf("caller %d holds a private dataset copy; the cache must share one parse", i)
+		}
+	}
+	if n := len(got[0].Samples); n != 2 {
+		t.Fatalf("shared dataset has %d samples, want 2", n)
+	}
+}
+
+// TestArtifactCacheConcurrentModel is the same pin for the model map.
+func TestArtifactCacheConcurrentModel(t *testing.T) {
+	ds := workload.NewDataset([]string{"rate", "threads"}, []string{"throughput"})
+	for i := 0; i < 8; i++ {
+		a, b := float64(i%4), float64(i/4)
+		ds.MustAppend(workload.Sample{X: []float64{a, b}, Y: []float64{10 + a - b}})
+	}
+	tc := train.DefaultConfig()
+	tc.MaxEpochs = 20
+	model, err := core.Fit(ds, core.Config{Hidden: []int{3}, Train: &tc, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	cache := newTestCache()
+	spec := dist.Spec{Kind: "toy", Artifacts: map[string]string{RoleModel: "sha-model"}}
+
+	const callers = 8
+	got := make([]*core.NNModel, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = cache.model(context.Background(), stubEnv{path: path}, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if got[i] != got[0] {
+			t.Errorf("caller %d holds a private model copy; the cache must share one load", i)
+		}
+	}
+}

@@ -93,7 +93,7 @@ func openStateWriter(path string, hdr stateHeader, fresh bool) (*stateWriter, er
 			_, err = f.Write(append(line, '\n'))
 		}
 		if err != nil {
-			f.Close()
+			_ = f.Close() // the header write error is the one worth returning
 			return nil, err
 		}
 	}

@@ -93,7 +93,7 @@ func (r *clusterRecorder) write(path string, spec Spec, fingerprint string, fail
 		return err
 	}
 	if _, err := tmp.Write(out.Bytes()); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error is the one worth returning
 		os.Remove(tmp.Name())
 		return err
 	}

@@ -335,15 +335,23 @@ func (w *Worker) runLease(ctx context.Context, runner Runner, spec Spec, rep lea
 }
 
 // ArtifactPath implements Env: fetch-once, hash-verify, cache on disk.
+// artMu guards only the in-memory path map; the disk probe and the
+// network fetch run unlocked so one stalled download cannot serialize
+// every other task's artifact resolution. Two goroutines racing on the
+// same sha may both fetch, but the temp+rename publish is atomic and
+// idempotent, so the loser merely wastes a download.
 func (w *Worker) ArtifactPath(ctx context.Context, sha string) (string, error) {
 	w.artMu.Lock()
-	defer w.artMu.Unlock()
 	if path, ok := w.artPaths[sha]; ok {
+		w.artMu.Unlock()
 		return path, nil
 	}
+	w.artMu.Unlock()
 	path := filepath.Join(w.cfg.CacheDir, sha)
 	if body, err := os.ReadFile(path); err == nil && obs.HashBytes(body) == sha {
+		w.artMu.Lock()
 		w.artPaths[sha] = path // warm cache from an earlier run
+		w.artMu.Unlock()
 		return path, nil
 	}
 	var body []byte
@@ -385,7 +393,7 @@ func (w *Worker) ArtifactPath(ctx context.Context, sha string) (string, error) {
 		return "", err
 	}
 	if _, err := tmp.Write(body); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error is the one worth returning
 		os.Remove(tmp.Name())
 		return "", err
 	}
@@ -397,7 +405,9 @@ func (w *Worker) ArtifactPath(ctx context.Context, sha string) (string, error) {
 		os.Remove(tmp.Name())
 		return "", err
 	}
+	w.artMu.Lock()
 	w.artPaths[sha] = path
+	w.artMu.Unlock()
 	return path, nil
 }
 

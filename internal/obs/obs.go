@@ -115,23 +115,33 @@ type WriterSink struct {
 	mu  sync.Mutex
 	w   io.Writer
 	buf []byte
+	err error // first write failure, surfaced by Close
 }
 
 // NewWriterSink returns a sink writing JSON lines to w.
 func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
 
-// Emit renders and writes one event line.
+// Emit renders and writes one event line. Emit has no error return (a
+// trace span should never fail its caller), so the first write failure
+// is recorded and surfaced by Close — a silently truncated trace must
+// not pass for a complete one.
 func (s *WriterSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.buf = e.appendJSON(s.buf[:0])
 	s.buf = append(s.buf, '\n')
-	s.w.Write(s.buf)
+	if _, err := s.w.Write(s.buf); err != nil && s.err == nil {
+		s.err = err
+	}
 }
 
-// Close flushes nothing (the writer's owner closes it) and reports no
-// error; it exists to satisfy Sink.
-func (s *WriterSink) Close() error { return nil }
+// Close flushes nothing (the writer's owner closes it) but reports the
+// first Emit write failure, so owners learn about a truncated stream.
+func (s *WriterSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
 
 // Trace is a run's event stream. The nil Trace is valid and inert — every
 // method on it is a no-op — so call sites thread a *Trace unconditionally

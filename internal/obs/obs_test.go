@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -256,5 +257,40 @@ func TestSummarizeTrace(t *testing.T) {
 	}
 	if names := s.SortedNames(); strings.Join(names, ",") != "epoch,fit_end,fit_start,fold,span" {
 		t.Fatalf("SortedNames = %v", names)
+	}
+}
+
+// failAfterWriter accepts the first ok writes, then fails every one.
+type failAfterWriter struct {
+	ok  int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.ok == 0 {
+		return 0, w.err
+	}
+	w.ok--
+	return len(p), nil
+}
+
+// TestWriterSinkCloseSurfacesWriteError pins the fix for silently
+// truncated traces: Emit cannot fail its caller, so the first write
+// error must be recorded and surfaced by Close instead of dropped.
+func TestWriterSinkCloseSurfacesWriteError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	sink := NewWriterSink(&failAfterWriter{ok: 1, err: wantErr})
+	tr := NewTraceNoTime(sink)
+	tr.Emit("a", Int("i", 1)) // succeeds
+	tr.Emit("b", Int("i", 2)) // fails; recorded for Close
+	tr.Emit("c", Int("i", 3)) // later failures must not mask the first
+	if err := sink.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close() = %v, want the first write error %v", err, wantErr)
+	}
+
+	clean := NewWriterSink(&bytes.Buffer{})
+	NewTraceNoTime(clean).Emit("a", Int("i", 1))
+	if err := clean.Close(); err != nil {
+		t.Fatalf("clean sink Close() = %v, want nil", err)
 	}
 }

@@ -38,7 +38,18 @@ func StartDebugServer(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	// httpx.NewServer is the canonical timeout-setting constructor, but
+	// httpx depends on obs, so the debug server sets the full timeout
+	// quartet itself. Write/Idle are generous because profile endpoints
+	// stream for the profiling window (/debug/pprof/profile?seconds=30).
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	//lint:waive goroutine-lifecycle -- the debug server is documented to live for the process; Serve returns only when the listener dies and the error is logged below
 	go func() {
 		// A debug server dying mid-run should be visible, not silent —
 		// an operator staring at a dead /metrics endpoint needs the why.
